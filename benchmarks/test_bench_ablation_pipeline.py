@@ -1,0 +1,56 @@
+"""E7 (ablation) — vector-grained vs operand-grained attention pipeline.
+
+The paper's vector-grained pipeline is one of the two ingredients of STAR's
+gain over ReTransformer; this ablation quantifies it in isolation across
+sequence lengths.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ablation import AblationSuite
+
+from conftest import record
+
+SEQ_LENS = (128, 256, 512)
+
+
+def test_bench_pipeline_granularity_ablation(benchmark):
+    """Attention-chain latency under both schedules for several lengths."""
+    suite = AblationSuite()
+
+    rows = benchmark(suite.pipeline_ablation, SEQ_LENS)
+
+    record(
+        benchmark,
+        speedups={row.seq_len: round(row.speedup, 3) for row in rows},
+        vector_latency_us={row.seq_len: round(row.vector_latency_s * 1e6, 2) for row in rows},
+        operand_latency_us={row.seq_len: round(row.operand_latency_s * 1e6, 2) for row in rows},
+    )
+    assert all(row.speedup > 1.0 for row in rows)
+
+
+def test_bench_star_vs_operand_scheduled_star(benchmark):
+    """Whole-accelerator effect of the pipeline granularity at seq 128."""
+    from repro.core.accelerator import STARAccelerator
+    from repro.core.config import PipelineConfig, STARConfig
+    from repro.nn.bert import BertWorkload
+
+    workload = BertWorkload(seq_len=128)
+    vector_star = STARAccelerator()
+    operand_star = STARAccelerator(STARConfig(pipeline=PipelineConfig(granularity="operand")))
+
+    def both():
+        return (
+            vector_star.inference_latency_s(workload),
+            operand_star.inference_latency_s(workload),
+        )
+
+    vector_latency, operand_latency = benchmark(both)
+
+    record(
+        benchmark,
+        vector_ms=round(vector_latency * 1e3, 3),
+        operand_ms=round(operand_latency * 1e3, 3),
+        end_to_end_speedup=round(operand_latency / vector_latency, 3),
+    )
+    assert vector_latency < operand_latency

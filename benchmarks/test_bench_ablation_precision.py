@@ -1,0 +1,65 @@
+"""E8 (ablation) — softmax precision sweep: cost vs fidelity.
+
+Sweeps the engine's fixed-point format around the paper's chosen 7/8/9-bit
+points and reports the area/power/fidelity trade-off, plus the effect of
+dropping the sign bit (the paper's area-saving trick) being numerically free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ablation import AblationSuite
+from repro.nn.functional import softmax as exact_softmax
+from repro.nn.softmax_models import FixedPointSoftmax
+from repro.utils.fixed_point import CNEWS_FORMAT
+from repro.workloads import CNEWS_PROFILE, AttentionScoreGenerator
+
+from conftest import record
+
+FORMATS = ((5, 1), (5, 2), (6, 2), (6, 3))
+
+
+def test_bench_precision_sweep(benchmark):
+    """Engine cost and output fidelity across fixed-point formats."""
+    suite = AblationSuite()
+
+    rows = benchmark(
+        suite.precision_ablation, CNEWS_PROFILE, FORMATS, 32, 64
+    )
+
+    record(
+        benchmark,
+        sweep={
+            f"{row.integer_bits}i+{row.frac_bits}f": {
+                "area_um2": round(row.area_um2, 1),
+                "power_mw": round(row.power_w * 1e3, 3),
+                "mean_kl": round(row.mean_kl, 5),
+            }
+            for row in rows
+        },
+    )
+    kls = [row.mean_kl for row in rows]
+    # fidelity improves (KL falls) as precision grows
+    assert kls[-1] <= kls[0]
+
+
+def test_bench_sign_bit_removal_is_lossless(benchmark):
+    """Dropping the sign of x_i - x_max (paper Section II) changes nothing numerically."""
+    scores = AttentionScoreGenerator(CNEWS_PROFILE, seed=1).rows(64, 128)
+
+    def unsigned_magnitude_softmax():
+        # the engine computes d = x_max - x_i >= 0 and stores only |d|
+        fixed = FixedPointSoftmax(CNEWS_FORMAT)
+        return fixed(scores)
+
+    probs = benchmark(unsigned_magnitude_softmax)
+
+    exact = exact_softmax(scores)
+    record(
+        benchmark,
+        max_abs_error=float(np.max(np.abs(probs - exact))),
+        mean_abs_error=float(np.mean(np.abs(probs - exact))),
+    )
+    np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-9)
+    assert np.max(np.abs(probs - exact)) < 0.08

@@ -1,0 +1,35 @@
+"""E4 — Section II bit-width table: required softmax precision per dataset.
+
+Regenerates the analysis that arrives at 8 bits (6 + 2) for CNEWS, 9 bits
+(6 + 3) for MRPC and 7 bits (5 + 2) for CoLA.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bitwidth import BitwidthAnalyzer
+from repro.workloads import DATASET_PROFILES
+
+from conftest import record
+
+
+def test_bench_bitwidth_table(benchmark, paper_values):
+    """Full data-range + distortion analysis over the three dataset profiles."""
+    analyzer = BitwidthAnalyzer()
+
+    results = benchmark(analyzer.analyze_all, DATASET_PROFILES)
+
+    by_name = {result.dataset: result for result in results}
+    record(
+        benchmark,
+        cnews_bits=f"{by_name['CNEWS'].total_bits} ({by_name['CNEWS'].integer_bits}i+{by_name['CNEWS'].frac_bits}f)",
+        mrpc_bits=f"{by_name['MRPC'].total_bits} ({by_name['MRPC'].integer_bits}i+{by_name['MRPC'].frac_bits}f)",
+        cola_bits=f"{by_name['CoLA'].total_bits} ({by_name['CoLA'].integer_bits}i+{by_name['CoLA'].frac_bits}f)",
+        paper_bits="CNEWS 8 (6i+2f), MRPC 9 (6i+3f), CoLA 7 (5i+2f)",
+        observed_ranges={name: round(result.observed_range, 2) for name, result in by_name.items()},
+    )
+    assert by_name["CNEWS"].total_bits == paper_values["bits_cnews"]
+    assert by_name["MRPC"].total_bits == paper_values["bits_mrpc"]
+    assert by_name["CoLA"].total_bits == paper_values["bits_cola"]
+    assert (by_name["CNEWS"].integer_bits, by_name["CNEWS"].frac_bits) == (6, 2)
+    assert (by_name["MRPC"].integer_bits, by_name["MRPC"].frac_bits) == (6, 3)
+    assert (by_name["CoLA"].integer_bits, by_name["CoLA"].frac_bits) == (5, 2)

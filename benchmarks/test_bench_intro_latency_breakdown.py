@@ -1,0 +1,52 @@
+"""E1 — Section I observation: softmax share of BERT-base GPU latency.
+
+Regenerates the sequence-length sweep behind the paper's claim that the
+softmax latency exceeds the matrix multiplications at sequence length 512,
+where it reaches 59.20 % of execution time.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdown import LatencyBreakdownAnalyzer
+from repro.nn.bert import BertWorkload
+
+from conftest import record
+
+
+def test_bench_softmax_share_sweep(benchmark, paper_values):
+    """Softmax share of GPU execution time across sequence lengths."""
+    analyzer = LatencyBreakdownAnalyzer()
+
+    rows = benchmark(analyzer.sweep_rows)
+
+    shares = {row.seq_len: row.softmax_share for row in rows}
+    record(
+        benchmark,
+        softmax_share_by_seq_len={k: round(v, 4) for k, v in shares.items()},
+        crossover_length=analyzer.crossover_length(),
+        paper_share_at_512=paper_values["softmax_share_at_512"],
+        measured_share_at_512=round(shares[512], 4),
+    )
+    # shape checks: monotone growth and a crossover at 512
+    ordered = [shares[k] for k in sorted(shares)]
+    assert ordered == sorted(ordered)
+    assert shares[512] > 0.5
+    assert shares[384] < 0.5
+
+
+def test_bench_gpu_latency_at_512(benchmark):
+    """Absolute GPU latency model evaluation at the paper's crossover length."""
+    workload = BertWorkload(seq_len=512)
+    analyzer = LatencyBreakdownAnalyzer()
+
+    row = benchmark(analyzer.row_for, 512)
+
+    record(
+        benchmark,
+        matmul_ms=round(row.matmul_s * 1e3, 3),
+        softmax_ms=round(row.softmax_s * 1e3, 3),
+        total_ms=round(row.total_s * 1e3, 3),
+        softmax_share=round(row.softmax_share, 4),
+        workload_total_gops=round(workload.total_ops() / 1e9, 2),
+    )
+    assert row.softmax_s > row.matmul_s

@@ -1,0 +1,59 @@
+"""Supplementary benchmark: raw simulation throughput of the softmax models.
+
+Not a paper artefact, but useful for users of the library: how fast the
+functional fixed-point softmax and the crossbar-level engine simulate, and
+how the analog MatMul engine scales on small GEMMs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MatMulEngineConfig, SoftmaxEngineConfig
+from repro.core.matmul_engine import MatMulEngine
+from repro.core.softmax_engine import RRAMSoftmaxEngine
+from repro.nn.softmax_models import FixedPointSoftmax
+from repro.utils.fixed_point import CNEWS_FORMAT
+from repro.workloads import CNEWS_PROFILE, AttentionScoreGenerator
+
+from conftest import record
+
+
+def test_bench_functional_softmax_throughput(benchmark):
+    """Vectorised functional model over a full attention tensor (12 x 128 x 128)."""
+    scores = AttentionScoreGenerator(CNEWS_PROFILE, seed=0).rows(12 * 128, 128)
+    scores = scores.reshape(12, 128, 128)
+    softmax_fn = FixedPointSoftmax(CNEWS_FORMAT)
+
+    probs = benchmark(softmax_fn, scores)
+
+    record(benchmark, elements=int(scores.size))
+    np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-9)
+
+
+def test_bench_engine_softmax_row(benchmark):
+    """Crossbar-level engine on a single 128-element row."""
+    engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+    row = AttentionScoreGenerator(CNEWS_PROFILE, seed=1).rows(1, 128)[0]
+
+    probs = benchmark(engine.softmax_row, row)
+
+    record(benchmark, modeled_row_latency_us=round(engine.row_latency_s(128) * 1e6, 3))
+    assert probs.sum() == benchmark.extra_info.get("sum", probs.sum())
+
+
+def test_bench_analog_matmul_tile(benchmark, rng=np.random.default_rng(3)):
+    """One analog 128 x 128 tile VMM (functional path with 8-bit inputs)."""
+    engine = MatMulEngine(MatMulEngineConfig(bits_per_cell=4))
+    tile = engine.new_tile()
+    tile.program(rng.normal(size=(128, 128)))
+    vector = rng.uniform(0, 1, size=128)
+
+    result = benchmark(tile.matvec, vector)
+
+    record(
+        benchmark,
+        modeled_vmm_latency_ns=round(engine.tile_vmm_latency_s() * 1e9, 2),
+        modeled_vmm_energy_pj=round(engine.tile_vmm_energy_j() * 1e12, 2),
+    )
+    assert result.shape == (128,)

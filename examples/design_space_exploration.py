@@ -1,0 +1,67 @@
+"""Design-space exploration around the STAR accelerator.
+
+Run with:  python examples/design_space_exploration.py
+
+Reproduces the Fig. 3 comparison against the GPU, PipeLayer and
+ReTransformer baselines, then explores two of STAR's own design knobs:
+
+* the number of parallel RRAM softmax engines (throughput vs power/area);
+* the pipeline granularity (vector vs operand), isolating the contribution
+  of the fine-grained pipeline to the overall gain.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import EfficiencyComparison
+from repro.core import PipelineConfig, STARAccelerator, STARConfig
+from repro.nn import BertWorkload
+from repro.utils import format_si
+
+
+def figure3_comparison(workload: BertWorkload) -> None:
+    print("=== Fig. 3: computing-efficiency comparison (BERT-base, seq 128) ===")
+    results = EfficiencyComparison(workload=workload).run()
+    print(results.table.format_table(reference="Titan RTX"))
+    print()
+    print(f"STAR efficiency          : {results.star_efficiency:8.2f} GOPs/s/W (paper 612.66)")
+    print(f"gain over GPU            : {results.gain_over_gpu:8.2f}x        (paper 30.63x)")
+    print(f"gain over PipeLayer      : {results.gain_over_pipelayer:8.2f}x        (paper 4.32x)")
+    print(f"gain over ReTransformer  : {results.gain_over_retransformer:8.2f}x        (paper 1.31x)")
+    print()
+
+
+def softmax_engine_count_sweep(workload: BertWorkload) -> None:
+    print("=== Design knob 1: number of parallel softmax engines ===")
+    print(f"{'engines':>8} {'latency':>12} {'power (W)':>10} {'GOPs/s/W':>10}")
+    for count in (8, 16, 32, 64, 128):
+        star = STARAccelerator(num_softmax_engines=count)
+        report = star.cost_report(workload)
+        print(
+            f"{count:>8d} {format_si(report.latency_s, 's'):>12} "
+            f"{report.power_w:>10.2f} {report.computing_efficiency_gops_per_watt:>10.1f}"
+        )
+    print()
+
+
+def pipeline_granularity_sweep(workload: BertWorkload) -> None:
+    print("=== Design knob 2: pipeline granularity ===")
+    for granularity in ("operand", "vector"):
+        config = STARConfig(pipeline=PipelineConfig(granularity=granularity))
+        star = STARAccelerator(config)
+        report = star.cost_report(workload)
+        print(
+            f"{granularity:>8}-grained : latency {format_si(report.latency_s, 's'):>10}, "
+            f"efficiency {report.computing_efficiency_gops_per_watt:7.1f} GOPs/s/W"
+        )
+    print("(the vector-grained schedule is STAR's; operand-grained mimics prior work)")
+
+
+def main() -> None:
+    workload = BertWorkload(seq_len=128)
+    figure3_comparison(workload)
+    softmax_engine_count_sweep(workload)
+    pipeline_granularity_sweep(workload)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Reproduce the Section II precision analysis across the three datasets.
+
+Run with:  python examples/precision_and_datasets.py
+
+Walks through the workflow the paper uses to size the softmax engine:
+
+1. analyse the attention-score dynamic range of each dataset profile
+   (CNEWS / MRPC / CoLA) to fix the integer bits;
+2. sweep the fractional bits until the softmax distortion budget is met;
+3. confirm the chosen formats keep classification accuracy at the float
+   level on the synthetic teacher-consistency task;
+4. show what the formats mean for the engine's area and power.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import AccuracyAnalyzer, BitwidthAnalyzer
+from repro.core import RRAMSoftmaxEngine, SoftmaxEngineConfig
+from repro.nn import FixedPointSoftmax, ReferenceSoftmax
+from repro.workloads import DATASET_PROFILES, ClassificationTask
+
+
+def main() -> None:
+    print("=== 1-2. Data-range and fractional-bit analysis (paper Section II) ===")
+    analyzer = BitwidthAnalyzer()
+    requirements = analyzer.analyze_all(DATASET_PROFILES)
+    paper = {"CNEWS": "8 (6i+2f)", "MRPC": "9 (6i+3f)", "CoLA": "7 (5i+2f)"}
+    print(f"{'dataset':<8} {'observed range':>15} {'derived format':>16} {'paper':>12}")
+    for requirement in requirements:
+        derived = f"{requirement.total_bits} ({requirement.integer_bits}i+{requirement.frac_bits}f)"
+        print(
+            f"{requirement.dataset:<8} {requirement.observed_range:>15.2f} "
+            f"{derived:>16} {paper[requirement.dataset]:>12}"
+        )
+
+    print("\n=== 3. Accuracy at the chosen formats (teacher-consistency task) ===")
+    accuracy = AccuracyAnalyzer(num_rows=64)
+    for requirement in requirements:
+        profile = DATASET_PROFILES[requirement.dataset]
+        task = ClassificationTask(profile, num_examples=48, seq_len=32, seed=3)
+        float_acc = task.evaluate(ReferenceSoftmax()).accuracy
+        fixed_acc = task.evaluate(FixedPointSoftmax(requirement.fmt)).accuracy
+        fidelity = accuracy.fidelity(FixedPointSoftmax(requirement.fmt), profile, seq_len=64)
+        print(
+            f"{requirement.dataset:<8} float acc {float_acc * 100:6.2f}%   "
+            f"{requirement.total_bits}-bit acc {fixed_acc * 100:6.2f}%   "
+            f"mean KL {fidelity.mean_kl:.2e}   max |err| {fidelity.max_abs_error:.4f}"
+        )
+
+    print("\n=== 4. What the format means for the engine (Table I inputs) ===")
+    print(f"{'dataset':<8} {'format':>10} {'area (um^2)':>14} {'power (mW)':>12} {'row latency (us)':>18}")
+    for requirement in requirements:
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=requirement.fmt))
+        seq_len = DATASET_PROFILES[requirement.dataset].typical_seq_len
+        print(
+            f"{requirement.dataset:<8} {str(requirement.fmt):>10} {engine.area_um2():>14.0f} "
+            f"{engine.power_w(seq_len) * 1e3:>12.3f} {engine.row_latency_s(seq_len) * 1e6:>18.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools lacks PEP 660 editable-wheel support
+(all project metadata lives in ``pyproject.toml``).
+"""
+
+from setuptools import setup
+
+setup()

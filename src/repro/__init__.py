@@ -1,0 +1,23 @@
+"""STAR reproduction: an RRAM-crossbar softmax engine and attention accelerator simulator.
+
+The package reproduces "STAR: An Efficient Softmax Engine for Attention
+Model with RRAM Crossbar" (DATE 2023).  Subpackages:
+
+* :mod:`repro.core` — the paper's contribution: the RRAM softmax engine
+  (CAM/SUB crossbar, CAM+LUT+VMM exponential unit, counters, divider), the
+  ReTransformer-style MatMul engine, the vector-grained pipeline and the
+  STAR accelerator top level.
+* :mod:`repro.rram` — RRAM device, crossbar, CAM and LUT behavioural models.
+* :mod:`repro.circuits` — CMOS digital-component cost models.
+* :mod:`repro.arch` — area models, cost reports and design comparisons.
+* :mod:`repro.nn` — NumPy BERT-base substrate with swappable softmax.
+* :mod:`repro.workloads` — synthetic dataset score profiles and tasks.
+* :mod:`repro.baselines` — GPU, PipeLayer, ReTransformer, Softermax and
+  CMOS-softmax comparison models.
+* :mod:`repro.analysis` — bit-width, accuracy, efficiency and latency
+  breakdown analyses behind each table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,28 @@
+"""Analyses backing each table and figure: bit-width, accuracy, efficiency, ablations."""
+
+from repro.analysis.ablation import (
+    AblationSuite,
+    NoiseAblationRow,
+    PipelineAblationRow,
+    PrecisionAblationRow,
+)
+from repro.analysis.accuracy import AccuracyAnalyzer, FidelityMetrics, PrecisionSweepPoint
+from repro.analysis.bitwidth import BitwidthAnalyzer, BitwidthRequirement
+from repro.analysis.breakdown import BreakdownRow, LatencyBreakdownAnalyzer
+from repro.analysis.efficiency import EfficiencyComparison, Figure3Results
+
+__all__ = [
+    "BitwidthAnalyzer",
+    "BitwidthRequirement",
+    "AccuracyAnalyzer",
+    "FidelityMetrics",
+    "PrecisionSweepPoint",
+    "LatencyBreakdownAnalyzer",
+    "BreakdownRow",
+    "EfficiencyComparison",
+    "Figure3Results",
+    "AblationSuite",
+    "PipelineAblationRow",
+    "PrecisionAblationRow",
+    "NoiseAblationRow",
+]

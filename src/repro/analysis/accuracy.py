@@ -1,0 +1,132 @@
+"""Accuracy-vs-precision analysis of the softmax implementations.
+
+Supports two complementary metrics:
+
+* **distribution fidelity** — mean KL divergence and maximum absolute
+  probability error of a softmax implementation against the exact softmax,
+  measured on synthetic attention-score rows;
+* **task accuracy** — agreement of a model using the approximate softmax
+  with the float-softmax teacher on the synthetic classification task
+  (:class:`repro.workloads.classification.ClassificationTask`).
+
+These feed the E8 precision-sweep ablation and back the paper's claim that
+softmax is "insensitive to computing precision".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.functional import softmax as exact_softmax
+from repro.nn.softmax_models import FixedPointSoftmax
+from repro.utils.fixed_point import FixedPointFormat
+from repro.utils.stats import kl_divergence
+from repro.workloads.classification import ClassificationTask
+from repro.workloads.scores import AttentionScoreGenerator, ScoreProfile
+
+__all__ = ["FidelityMetrics", "PrecisionSweepPoint", "AccuracyAnalyzer"]
+
+
+@dataclass(frozen=True)
+class FidelityMetrics:
+    """Distribution-level fidelity of one softmax implementation."""
+
+    mean_kl: float
+    max_abs_error: float
+    mean_abs_error: float
+
+
+@dataclass(frozen=True)
+class PrecisionSweepPoint:
+    """One point of the precision sweep (E8)."""
+
+    integer_bits: int
+    frac_bits: int
+    fidelity: FidelityMetrics
+    task_accuracy: float | None = None
+
+    @property
+    def total_bits(self) -> int:
+        """Total bits of this sweep point."""
+        return self.integer_bits + self.frac_bits
+
+
+class AccuracyAnalyzer:
+    """Measures softmax fidelity and downstream task accuracy."""
+
+    def __init__(self, num_rows: int = 256, seed: int = 0) -> None:
+        if num_rows < 1:
+            raise ValueError(f"num_rows must be >= 1, got {num_rows}")
+        self.num_rows = num_rows
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # distribution fidelity
+    # ------------------------------------------------------------------ #
+    def fidelity(
+        self,
+        softmax_fn: Callable[[np.ndarray], np.ndarray],
+        profile: ScoreProfile,
+        seq_len: int | None = None,
+    ) -> FidelityMetrics:
+        """Fidelity of ``softmax_fn`` against the exact softmax on one profile."""
+        generator = AttentionScoreGenerator(profile, seed=self.seed)
+        rows = generator.rows(self.num_rows, seq_len)
+        approx = softmax_fn(rows)
+        exact = exact_softmax(rows)
+        errors = np.abs(approx - exact)
+        kls = [kl_divergence(exact[i], approx[i]) for i in range(rows.shape[0])]
+        return FidelityMetrics(
+            mean_kl=float(np.mean(kls)),
+            max_abs_error=float(np.max(errors)),
+            mean_abs_error=float(np.mean(errors)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # precision sweep (E8)
+    # ------------------------------------------------------------------ #
+    def precision_sweep(
+        self,
+        profile: ScoreProfile,
+        formats: list[tuple[int, int]],
+        include_task_accuracy: bool = False,
+        task: ClassificationTask | None = None,
+    ) -> list[PrecisionSweepPoint]:
+        """Fidelity (and optionally task accuracy) across fixed-point formats."""
+        if not formats:
+            raise ValueError("formats must not be empty")
+        if include_task_accuracy and task is None:
+            task = ClassificationTask(profile, num_examples=32, seq_len=32, seed=self.seed)
+        points = []
+        for integer_bits, frac_bits in formats:
+            fmt = FixedPointFormat(integer_bits, frac_bits)
+            softmax_fn = FixedPointSoftmax(fmt)
+            fidelity = self.fidelity(softmax_fn, profile)
+            accuracy = None
+            if include_task_accuracy and task is not None:
+                accuracy = task.evaluate(softmax_fn).accuracy
+            points.append(
+                PrecisionSweepPoint(
+                    integer_bits=integer_bits,
+                    frac_bits=frac_bits,
+                    fidelity=fidelity,
+                    task_accuracy=accuracy,
+                )
+            )
+        return points
+
+    def accuracy_drop_table(
+        self,
+        profiles: list[ScoreProfile],
+        fmt_for_profile: Callable[[ScoreProfile], FixedPointFormat],
+    ) -> dict[str, float]:
+        """Task-accuracy drop per dataset at its chosen format (small task sizes)."""
+        drops: dict[str, float] = {}
+        for profile in profiles:
+            task = ClassificationTask(profile, num_examples=32, seq_len=32, seed=self.seed)
+            fmt = fmt_for_profile(profile)
+            drops[profile.name] = task.accuracy_drop(FixedPointSoftmax(fmt))
+        return drops

@@ -1,0 +1,141 @@
+"""Data-range analysis: choosing the softmax fixed-point format per dataset.
+
+Section II of the paper: "we analyzed the data range of all x_i across three
+popular datasets for the BERT-base model such that balances the computing
+precision and hardware efficiency", arriving at 8 bits (6 integer + 2
+fractional) for CNEWS, 9 bits (6 + 3) for MRPC and 7 bits (5 + 2) for CoLA.
+
+The analyzer reproduces that procedure on the synthetic score profiles:
+
+* **integer bits** cover the observed dynamic range of the scores — the
+  99.9th percentile of the per-row spread ``max - min``, because after the
+  ``x_i - x_max`` subtraction that spread is exactly the largest magnitude
+  the engine must represent;
+* **fractional bits** are the smallest count for which the fixed-point
+  softmax stays within a distortion budget of the exact softmax, measured as
+  the mean KL divergence over a large sample of score rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.softmax_models import FixedPointSoftmax
+from repro.nn.functional import softmax as exact_softmax
+from repro.utils.fixed_point import FixedPointFormat
+from repro.utils.stats import kl_divergence
+from repro.workloads.scores import AttentionScoreGenerator, ScoreProfile
+
+__all__ = ["BitwidthRequirement", "BitwidthAnalyzer"]
+
+
+@dataclass(frozen=True)
+class BitwidthRequirement:
+    """Result of the bit-width analysis for one dataset profile."""
+
+    dataset: str
+    integer_bits: int
+    frac_bits: int
+    observed_range: float
+    mean_kl: float
+
+    @property
+    def total_bits(self) -> int:
+        """Total softmax input width (sign dropped, as in the paper)."""
+        return self.integer_bits + self.frac_bits
+
+    @property
+    def fmt(self) -> FixedPointFormat:
+        """The resulting fixed-point format."""
+        return FixedPointFormat(self.integer_bits, self.frac_bits)
+
+
+class BitwidthAnalyzer:
+    """Derives the per-dataset softmax precision the paper's table reports."""
+
+    def __init__(
+        self,
+        kl_budget: float = 1.6e-3,
+        num_rows: int = 384,
+        max_frac_bits: int = 6,
+        range_coverage_percentile: float = 99.9,
+        seed: int = 0,
+    ) -> None:
+        if kl_budget <= 0:
+            raise ValueError(f"kl_budget must be positive, got {kl_budget}")
+        if num_rows < 1:
+            raise ValueError(f"num_rows must be >= 1, got {num_rows}")
+        if max_frac_bits < 1:
+            raise ValueError(f"max_frac_bits must be >= 1, got {max_frac_bits}")
+        if not 50.0 < range_coverage_percentile <= 100.0:
+            raise ValueError(
+                "range_coverage_percentile must be in (50, 100], "
+                f"got {range_coverage_percentile}"
+            )
+        self.kl_budget = kl_budget
+        self.num_rows = num_rows
+        self.max_frac_bits = max_frac_bits
+        self.range_coverage_percentile = range_coverage_percentile
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # components of the analysis
+    # ------------------------------------------------------------------ #
+    def required_integer_bits(self, rows: np.ndarray) -> tuple[int, float]:
+        """Integer bits covering the observed per-row score spread."""
+        spreads = rows.max(axis=1) - rows.min(axis=1)
+        observed = float(np.percentile(spreads, self.range_coverage_percentile))
+        integer_bits = max(1, int(np.ceil(np.log2(max(observed, 1.0)))))
+        return integer_bits, observed
+
+    def mean_kl_for(self, rows: np.ndarray, fmt: FixedPointFormat) -> float:
+        """Mean KL divergence of the fixed-point softmax against the exact one.
+
+        The LUT is evaluated at high precision here so that the measured
+        distortion isolates the *input* quantisation — the quantity the
+        paper's bit-width table is about; the engine's own ``m = 4`` LUT
+        precision is a separate, fixed design choice.
+        """
+        fixed = FixedPointSoftmax(fmt, lut_frac_bits=12)
+        approx = fixed(rows)
+        exact = exact_softmax(rows)
+        kls = [kl_divergence(exact[i], approx[i]) for i in range(rows.shape[0])]
+        return float(np.mean(kls))
+
+    def required_frac_bits(
+        self, rows: np.ndarray, integer_bits: int
+    ) -> tuple[int, float]:
+        """Smallest fractional bit count meeting the KL distortion budget."""
+        last_kl = float("inf")
+        for frac_bits in range(1, self.max_frac_bits + 1):
+            fmt = FixedPointFormat(integer_bits, frac_bits)
+            last_kl = self.mean_kl_for(rows, fmt)
+            if last_kl <= self.kl_budget:
+                return frac_bits, last_kl
+        return self.max_frac_bits, last_kl
+
+    # ------------------------------------------------------------------ #
+    # end-to-end analysis
+    # ------------------------------------------------------------------ #
+    def analyze(self, profile: ScoreProfile, seq_len: int | None = None) -> BitwidthRequirement:
+        """Full bit-width analysis for one dataset profile."""
+        generator = AttentionScoreGenerator(profile, seed=self.seed)
+        rows = generator.rows(self.num_rows, seq_len)
+        integer_bits, observed_range = self.required_integer_bits(rows)
+        frac_bits, mean_kl = self.required_frac_bits(rows, integer_bits)
+        return BitwidthRequirement(
+            dataset=profile.name,
+            integer_bits=integer_bits,
+            frac_bits=frac_bits,
+            observed_range=observed_range,
+            mean_kl=mean_kl,
+        )
+
+    def analyze_all(
+        self, profiles: dict[str, ScoreProfile] | list[ScoreProfile]
+    ) -> list[BitwidthRequirement]:
+        """Analyse a collection of profiles (the paper's three datasets)."""
+        items = profiles.values() if isinstance(profiles, dict) else profiles
+        return [self.analyze(profile) for profile in items]

@@ -1,0 +1,76 @@
+"""Softmax-vs-matmul latency breakdown (the paper's introductory observation).
+
+The experiment behind E1: run the GPU inference model across a sweep of
+sequence lengths and report, for each length, the share of execution time
+spent in softmax.  The paper's headline numbers are that softmax overtakes
+matrix multiplication at sequence length 512 and reaches 59.20 % of BERT-base
+execution time there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.gpu import GPUModel
+from repro.nn.bert import BertConfig, BERT_BASE, BertWorkload
+from repro.workloads.sweeps import INTRO_SEQUENCE_SWEEP, SequenceLengthSweep
+
+__all__ = ["BreakdownRow", "LatencyBreakdownAnalyzer"]
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One row of the latency-breakdown table."""
+
+    seq_len: int
+    matmul_s: float
+    softmax_s: float
+    total_s: float
+    softmax_share: float
+
+
+class LatencyBreakdownAnalyzer:
+    """Sweeps sequence length and reports the softmax share of GPU latency."""
+
+    def __init__(
+        self,
+        gpu: GPUModel | None = None,
+        bert_config: BertConfig = BERT_BASE,
+        sweep: SequenceLengthSweep = INTRO_SEQUENCE_SWEEP,
+    ) -> None:
+        self.gpu = gpu or GPUModel()
+        self.bert_config = bert_config
+        self.sweep = sweep
+
+    def row_for(self, seq_len: int) -> BreakdownRow:
+        """Breakdown at one sequence length."""
+        workload = BertWorkload(config=self.bert_config, seq_len=seq_len)
+        breakdown = self.gpu.latency_breakdown(workload)
+        return BreakdownRow(
+            seq_len=seq_len,
+            matmul_s=breakdown.matmul_s,
+            softmax_s=breakdown.softmax_s,
+            total_s=breakdown.total_s,
+            softmax_share=breakdown.softmax_share,
+        )
+
+    def sweep_rows(self) -> list[BreakdownRow]:
+        """Breakdown across the configured sequence-length sweep."""
+        return [self.row_for(seq_len) for seq_len in self.sweep]
+
+    def crossover_length(self) -> int | None:
+        """First swept length at which softmax exceeds the matmul latency."""
+        for row in self.sweep_rows():
+            if row.softmax_share > 0.5:
+                return row.seq_len
+        return None
+
+    def format_table(self) -> str:
+        """Printable table matching the structure of the paper's observation."""
+        lines = [f"{'seq_len':>8} {'matmul (ms)':>12} {'softmax (ms)':>13} {'softmax share':>14}"]
+        for row in self.sweep_rows():
+            lines.append(
+                f"{row.seq_len:>8d} {row.matmul_s * 1e3:>12.3f} "
+                f"{row.softmax_s * 1e3:>13.3f} {row.softmax_share * 100:>13.2f}%"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Architecture-level cost aggregation: area models, cost reports, comparisons."""
+
+from repro.arch.area import CrossbarAreaModel, rram_cell_area_um2
+from repro.arch.report import ComparisonTable, CostReport
+from repro.arch.system import DEFAULT_SYSTEM_OVERHEAD, SystemOverheadModel
+
+__all__ = [
+    "CrossbarAreaModel",
+    "rram_cell_area_um2",
+    "CostReport",
+    "ComparisonTable",
+    "SystemOverheadModel",
+    "DEFAULT_SYSTEM_OVERHEAD",
+]

@@ -1,0 +1,100 @@
+"""Area models for RRAM arrays and their peripheral circuits.
+
+RRAM cell area follows the standard ``4 F^2`` rule for a 1T1R-free crosspoint
+cell (``F`` = feature size); peripheral area (wordline drivers, column muxes,
+sense amplifiers, ADCs) is added per row/column from the converter models.
+These are the same modelling assumptions NeuroSim makes at its behavioural
+("estimation") level, which is how the paper sized its crossbars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rram.converters import ADC, DAC, SampleAndHold, SenseAmplifier
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "rram_cell_area_um2",
+    "CrossbarAreaModel",
+]
+
+
+def rram_cell_area_um2(feature_nm: float = 32.0, cell_factor: float = 4.0) -> float:
+    """Area of one crosspoint RRAM cell: ``cell_factor * F^2`` in um^2."""
+    require_positive(feature_nm, "feature_nm")
+    require_positive(cell_factor, "cell_factor")
+    feature_um = feature_nm * 1e-3
+    return cell_factor * feature_um * feature_um
+
+
+@dataclass(frozen=True)
+class CrossbarAreaModel:
+    """Computes the silicon area of one crossbar array plus peripherals.
+
+    Attributes
+    ----------
+    feature_nm:
+        Technology feature size for the cell-area rule.
+    cell_factor:
+        Cell size in units of F^2 (4 for a crosspoint cell, ~12 for 1T1R).
+    driver_area_um2:
+        Area of one wordline driver.
+    """
+
+    feature_nm: float = 32.0
+    cell_factor: float = 4.0
+    driver_area_um2: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.feature_nm, "feature_nm")
+        require_positive(self.cell_factor, "cell_factor")
+        require_positive(self.driver_area_um2, "driver_area_um2")
+
+    @property
+    def cell_area_um2(self) -> float:
+        """Area of one RRAM cell."""
+        return rram_cell_area_um2(self.feature_nm, self.cell_factor)
+
+    def array_area_um2(self, rows: int, cols: int) -> float:
+        """Bare array area (cells and wires only)."""
+        if rows < 1 or cols < 1:
+            raise ValueError(f"array dimensions must be positive, got {rows}x{cols}")
+        return rows * cols * self.cell_area_um2
+
+    def vmm_crossbar_area_um2(
+        self,
+        rows: int,
+        cols: int,
+        adc: ADC,
+        dac: DAC,
+        adc_share: int = 8,
+    ) -> float:
+        """Full VMM crossbar: array + row DACs + column S&H + shared ADCs."""
+        if adc_share < 1:
+            raise ValueError(f"adc_share must be >= 1, got {adc_share}")
+        array = self.array_area_um2(rows, cols)
+        drivers = rows * (self.driver_area_um2 + dac.area_um2)
+        sample_hold = cols * SampleAndHold().area_um2
+        adcs = max(1, cols // adc_share) * adc.area_um2
+        return array + drivers + sample_hold + adcs
+
+    def cam_crossbar_area_um2(self, rows: int, bits: int) -> float:
+        """CAM crossbar: 2 cells per bit + matchline sense amp per row + drivers."""
+        if rows < 1 or bits < 1:
+            raise ValueError(f"CAM dimensions must be positive, got {rows}x{bits}")
+        array = self.array_area_um2(rows, 2 * bits)
+        sense = rows * SenseAmplifier().area_um2
+        drivers = 2 * bits * self.driver_area_um2
+        return array + sense + drivers
+
+    def lut_crossbar_area_um2(self, rows: int, value_bits: int) -> float:
+        """LUT crossbar: one cell per bit + bitline sense amp per column + drivers."""
+        if rows < 1 or value_bits < 1:
+            raise ValueError(
+                f"LUT dimensions must be positive, got {rows}x{value_bits}"
+            )
+        array = self.array_area_um2(rows, value_bits)
+        sense = value_bits * SenseAmplifier().area_um2
+        drivers = rows * self.driver_area_um2
+        return array + sense + drivers

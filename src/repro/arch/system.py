@@ -1,0 +1,78 @@
+"""Chip-level overheads shared by every ReRAM accelerator model.
+
+Crossbar tiles alone look spectacularly efficient (tens of TOPS/W); what
+brings published ReRAM accelerators down to the hundreds of GOPs/W range is
+everything around the tiles: eDRAM activation buffers, the on-chip network,
+instruction/control logic and IO.  PipeLayer, ReTransformer and STAR all sit
+on comparable substrates, so these overheads are factored out into one model
+that every accelerator (baseline or STAR) instantiates with the same
+constants — keeping Fig. 3 a comparison of the *architectural* differences
+(pipeline granularity, softmax implementation, operand rewriting) rather
+than of arbitrarily different bookkeeping.
+
+The constants follow the ISAAC / PipeLayer tile breakdowns at 32 nm:
+roughly 90-100 mW and 0.25 mm^2 of buffer + network + control per crossbar
+tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["SystemOverheadModel", "DEFAULT_SYSTEM_OVERHEAD"]
+
+
+@dataclass(frozen=True)
+class SystemOverheadModel:
+    """Per-tile buffer / interconnect / control overheads.
+
+    Attributes
+    ----------
+    buffer_power_w_per_tile:
+        eDRAM / SRAM activation-buffer power attributable to one tile.
+    network_power_w_per_tile:
+        On-chip network (routers, links) power per tile.
+    control_power_w_per_tile:
+        Instruction decode, sequencing and miscellaneous control per tile.
+    overhead_area_mm2_per_tile:
+        Combined buffer + network + control area per tile.
+    io_power_w:
+        Chip-level IO power, paid once.
+    """
+
+    buffer_power_w_per_tile: float = 0.055
+    network_power_w_per_tile: float = 0.025
+    control_power_w_per_tile: float = 0.015
+    overhead_area_mm2_per_tile: float = 0.25
+    io_power_w: float = 0.4
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.buffer_power_w_per_tile, "buffer_power_w_per_tile")
+        require_non_negative(self.network_power_w_per_tile, "network_power_w_per_tile")
+        require_non_negative(self.control_power_w_per_tile, "control_power_w_per_tile")
+        require_non_negative(self.overhead_area_mm2_per_tile, "overhead_area_mm2_per_tile")
+        require_non_negative(self.io_power_w, "io_power_w")
+
+    @property
+    def power_w_per_tile(self) -> float:
+        """Total per-tile overhead power."""
+        return (
+            self.buffer_power_w_per_tile
+            + self.network_power_w_per_tile
+            + self.control_power_w_per_tile
+        )
+
+    def total_power_w(self, num_tiles: int) -> float:
+        """Chip-level overhead power for ``num_tiles`` tiles."""
+        require_positive(num_tiles, "num_tiles")
+        return self.power_w_per_tile * num_tiles + self.io_power_w
+
+    def total_area_mm2(self, num_tiles: int) -> float:
+        """Chip-level overhead area for ``num_tiles`` tiles."""
+        require_positive(num_tiles, "num_tiles")
+        return self.overhead_area_mm2_per_tile * num_tiles
+
+
+DEFAULT_SYSTEM_OVERHEAD = SystemOverheadModel()

@@ -1,0 +1,22 @@
+"""Comparison designs: GPU, PipeLayer, ReTransformer, Softermax, CMOS softmax."""
+
+from repro.baselines.cmos_softmax import CMOSSoftmaxConfig, CMOSSoftmaxUnit
+from repro.baselines.gpu import TITAN_RTX, GPUConfig, GPULatencyBreakdown, GPUModel
+from repro.baselines.pipelayer import PipeLayerConfig, PipeLayerModel
+from repro.baselines.retransformer import ReTransformerConfig, ReTransformerModel
+from repro.baselines.softermax import SoftermaxConfig, SoftermaxUnit
+
+__all__ = [
+    "CMOSSoftmaxUnit",
+    "CMOSSoftmaxConfig",
+    "SoftermaxUnit",
+    "SoftermaxConfig",
+    "GPUModel",
+    "GPUConfig",
+    "GPULatencyBreakdown",
+    "TITAN_RTX",
+    "PipeLayerModel",
+    "PipeLayerConfig",
+    "ReTransformerModel",
+    "ReTransformerConfig",
+]

@@ -1,0 +1,171 @@
+"""GPU (NVIDIA Titan RTX) performance model for BERT-base attention inference.
+
+The paper's two GPU-related claims are:
+
+* the introduction's observation that the softmax share of BERT-base
+  execution time grows with sequence length and exceeds the matrix
+  multiplications at length 512 (59.20 % of total execution time);
+* Fig. 3's computing-efficiency comparison, where the Titan RTX achieves
+  roughly 1/30th of STAR's GOPs/s/W.
+
+Neither is reproducible by measurement offline, so this module provides a
+calibrated analytical model of batch-1 eager-mode transformer inference on a
+Titan RTX:
+
+* GEMMs run on tensor cores at an effective throughput well below peak
+  (small batch-1 matrices cannot fill the machine), plus a fixed host/launch
+  overhead per kernel — the known bottleneck of un-fused batch-1 inference;
+* softmax runs as an un-fused sequence of FP32 elementwise/reduction kernels
+  whose cost is memory-bandwidth-bound, again plus per-kernel overhead.
+
+With the default calibration the model reproduces the paper's shape: the
+softmax share crosses 50 % between sequence lengths 384 and 512 and the
+whole-model efficiency lands in the tens of GOPs/s/W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.report import CostReport
+from repro.nn.bert import BertWorkload
+from repro.utils.validation import require_positive
+
+__all__ = ["GPUConfig", "TITAN_RTX", "GPUModel", "GPULatencyBreakdown"]
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Calibration constants of the GPU inference model.
+
+    Attributes
+    ----------
+    name:
+        Device label.
+    tensor_core_tflops:
+        Peak FP16 tensor-core throughput.
+    matmul_utilization:
+        Fraction of peak achieved by batch-1 GEMMs (occupancy-limited).
+    memory_bandwidth_gbs:
+        Peak DRAM bandwidth.
+    bandwidth_utilization:
+        Fraction of peak bandwidth achieved by elementwise kernels.
+    softmax_bytes_per_element:
+        DRAM traffic per attention-score element across the un-fused
+        max / subtract-exp / sum / divide passes (FP32 reads + writes).
+    kernel_overhead_s:
+        Host launch + scheduling gap per kernel in eager-mode inference.
+    matmul_kernels_per_layer:
+        GEMM kernel launches per encoder layer (4 projections, 2 batched
+        attention GEMMs, 2 FFN GEMMs).
+    softmax_kernels_per_layer:
+        Kernel launches of the un-fused softmax per layer.
+    board_power_w:
+        Board power while busy (TDP).
+    """
+
+    name: str = "Titan RTX"
+    tensor_core_tflops: float = 130.0
+    matmul_utilization: float = 0.42
+    memory_bandwidth_gbs: float = 672.0
+    bandwidth_utilization: float = 0.75
+    softmax_bytes_per_element: float = 52.0
+    kernel_overhead_s: float = 22.0e-6
+    matmul_kernels_per_layer: int = 8
+    softmax_kernels_per_layer: int = 4
+    board_power_w: float = 280.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.tensor_core_tflops, "tensor_core_tflops")
+        require_positive(self.matmul_utilization, "matmul_utilization")
+        require_positive(self.memory_bandwidth_gbs, "memory_bandwidth_gbs")
+        require_positive(self.bandwidth_utilization, "bandwidth_utilization")
+        require_positive(self.softmax_bytes_per_element, "softmax_bytes_per_element")
+        require_positive(self.kernel_overhead_s, "kernel_overhead_s")
+        require_positive(self.board_power_w, "board_power_w")
+        if self.matmul_kernels_per_layer < 1 or self.softmax_kernels_per_layer < 1:
+            raise ValueError("kernel counts per layer must be >= 1")
+
+    @property
+    def effective_matmul_ops_per_s(self) -> float:
+        """Achieved GEMM throughput in ops/s."""
+        return self.tensor_core_tflops * 1e12 * self.matmul_utilization
+
+    @property
+    def effective_bandwidth_bytes_per_s(self) -> float:
+        """Achieved DRAM bandwidth in bytes/s."""
+        return self.memory_bandwidth_gbs * 1e9 * self.bandwidth_utilization
+
+
+TITAN_RTX = GPUConfig()
+
+
+@dataclass(frozen=True)
+class GPULatencyBreakdown:
+    """Per-component latency of one BERT-base inference on the GPU."""
+
+    seq_len: int
+    matmul_s: float
+    softmax_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Total execution time."""
+        return self.matmul_s + self.softmax_s
+
+    @property
+    def softmax_share(self) -> float:
+        """Fraction of execution time spent in softmax (the paper's 59.20 %)."""
+        return self.softmax_s / self.total_s
+
+
+class GPUModel:
+    """Analytical latency / efficiency model of BERT-base inference on a GPU."""
+
+    def __init__(self, config: GPUConfig = TITAN_RTX) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # latency components
+    # ------------------------------------------------------------------ #
+    def matmul_latency_s(self, workload: BertWorkload) -> float:
+        """Time spent in GEMM kernels (compute + launch overhead)."""
+        cfg = self.config
+        compute = workload.matmul_ops() / cfg.effective_matmul_ops_per_s
+        launches = workload.config.num_layers * cfg.matmul_kernels_per_layer
+        return compute + launches * cfg.kernel_overhead_s
+
+    def softmax_latency_s(self, workload: BertWorkload) -> float:
+        """Time spent in the un-fused softmax kernels."""
+        cfg = self.config
+        traffic_bytes = workload.softmax_elements() * cfg.softmax_bytes_per_element
+        transfer = traffic_bytes / cfg.effective_bandwidth_bytes_per_s
+        launches = workload.config.num_layers * cfg.softmax_kernels_per_layer
+        return transfer + launches * cfg.kernel_overhead_s
+
+    def latency_breakdown(self, workload: BertWorkload) -> GPULatencyBreakdown:
+        """Matmul vs softmax latency split for one inference."""
+        return GPULatencyBreakdown(
+            seq_len=workload.seq_len,
+            matmul_s=self.matmul_latency_s(workload),
+            softmax_s=self.softmax_latency_s(workload),
+        )
+
+    def total_latency_s(self, workload: BertWorkload) -> float:
+        """End-to-end inference latency."""
+        breakdown = self.latency_breakdown(workload)
+        return breakdown.total_s
+
+    # ------------------------------------------------------------------ #
+    # Fig. 3 cost report
+    # ------------------------------------------------------------------ #
+    def cost_report(self, workload: BertWorkload, die_area_mm2: float = 754.0) -> CostReport:
+        """Computing-efficiency report for Fig. 3 (GOPs/s/W at board power)."""
+        latency = self.total_latency_s(workload)
+        return CostReport(
+            name=self.config.name,
+            area_mm2=die_area_mm2,
+            power_w=self.config.board_power_w,
+            latency_s=latency,
+            operations=float(workload.total_ops()),
+        )

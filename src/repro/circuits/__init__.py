@@ -1,0 +1,38 @@
+"""CMOS digital-circuit cost models (peripherals and softmax baselines)."""
+
+from repro.circuits.components import (
+    Adder,
+    ComponentCost,
+    Comparator,
+    Counter,
+    Divider,
+    ExponentialUnit,
+    MaxComparatorTree,
+    Multiplier,
+    OrGateArray,
+    Register,
+    SRAMBuffer,
+    Subtractor,
+)
+from repro.circuits.energy import EnergyLedger, LedgerEntry
+from repro.circuits.technology import DEFAULT_TECHNOLOGY, REFERENCE_NODE_NM, TechnologyNode
+
+__all__ = [
+    "ComponentCost",
+    "Adder",
+    "Subtractor",
+    "Comparator",
+    "Multiplier",
+    "Divider",
+    "Register",
+    "Counter",
+    "OrGateArray",
+    "SRAMBuffer",
+    "ExponentialUnit",
+    "MaxComparatorTree",
+    "EnergyLedger",
+    "LedgerEntry",
+    "TechnologyNode",
+    "DEFAULT_TECHNOLOGY",
+    "REFERENCE_NODE_NM",
+]

@@ -1,0 +1,38 @@
+"""STAR's core contribution: the RRAM softmax engine, MatMul engine and pipeline."""
+
+from repro.core.accelerator import LayerLatencyBreakdown, STARAccelerator
+from repro.core.cam_sub import CamSubCrossbar, CamSubResult
+from repro.core.config import (
+    MatMulEngineConfig,
+    PipelineConfig,
+    SoftmaxEngineConfig,
+    STARConfig,
+)
+from repro.core.counter import CounterBank
+from repro.core.divider import DividerUnit
+from repro.core.exponent import ExponentialUnit, ExponentResult
+from repro.core.matmul_engine import GEMMShape, MatMulEngine
+from repro.core.pipeline import AttentionPipeline, PipelineSchedule, StageTiming
+from repro.core.softmax_engine import RRAMSoftmaxEngine, SoftmaxRowTrace
+
+__all__ = [
+    "STARConfig",
+    "SoftmaxEngineConfig",
+    "MatMulEngineConfig",
+    "PipelineConfig",
+    "CamSubCrossbar",
+    "CamSubResult",
+    "ExponentialUnit",
+    "ExponentResult",
+    "CounterBank",
+    "DividerUnit",
+    "RRAMSoftmaxEngine",
+    "SoftmaxRowTrace",
+    "MatMulEngine",
+    "GEMMShape",
+    "AttentionPipeline",
+    "StageTiming",
+    "PipelineSchedule",
+    "STARAccelerator",
+    "LayerLatencyBreakdown",
+]

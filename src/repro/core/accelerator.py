@@ -1,0 +1,161 @@
+"""The STAR accelerator: MatMul engine + RRAM softmax engines + pipeline.
+
+The top-level model assembles the pieces the paper describes and produces
+the quantities the evaluation section reports:
+
+* end-to-end BERT-base inference latency, split into the attention pipeline
+  (score GEMM -> softmax -> context GEMM, scheduled at vector granularity)
+  and the remaining GEMMs (Q/K/V/output projections and the FFN);
+* chip power: crossbar tiles, softmax engines and the shared system
+  overheads (buffers, network, control) from
+  :class:`repro.arch.system.SystemOverheadModel`;
+* the Fig. 3 computing-efficiency report (GOPs/s/W).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.report import CostReport
+from repro.arch.system import DEFAULT_SYSTEM_OVERHEAD, SystemOverheadModel
+from repro.core.config import STARConfig
+from repro.core.matmul_engine import GEMMShape, MatMulEngine
+from repro.core.pipeline import AttentionPipeline, StageTiming, attention_streams
+from repro.core.softmax_engine import RRAMSoftmaxEngine
+from repro.nn.bert import BertWorkload
+from repro.utils.validation import require_positive
+
+__all__ = ["LayerLatencyBreakdown", "STARAccelerator"]
+
+
+@dataclass(frozen=True)
+class LayerLatencyBreakdown:
+    """Latency components of one encoder layer on the accelerator."""
+
+    projection_s: float
+    attention_pipeline_s: float
+    ffn_s: float
+    softmax_only_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Total latency of the layer."""
+        return self.projection_s + self.attention_pipeline_s + self.ffn_s
+
+    @property
+    def softmax_share(self) -> float:
+        """Share of the layer spent waiting on softmax (0 when fully hidden)."""
+        return self.softmax_only_s / self.total_s if self.total_s > 0 else 0.0
+
+
+class STARAccelerator:
+    """Architectural model of the full STAR accelerator."""
+
+    name = "STAR"
+
+    def __init__(
+        self,
+        config: STARConfig | None = None,
+        num_softmax_engines: int = 64,
+        system_overhead: SystemOverheadModel = DEFAULT_SYSTEM_OVERHEAD,
+    ) -> None:
+        require_positive(num_softmax_engines, "num_softmax_engines")
+        self.config = config or STARConfig()
+        self.matmul_engine = MatMulEngine(self.config.matmul)
+        self.softmax_engine = RRAMSoftmaxEngine(self.config.softmax)
+        self.num_softmax_engines = num_softmax_engines
+        self.pipeline = AttentionPipeline(self.config.pipeline)
+        self.system_overhead = system_overhead
+
+    # ------------------------------------------------------------------ #
+    # latency
+    # ------------------------------------------------------------------ #
+    def _projection_latency_s(self, workload: BertWorkload) -> float:
+        cfg = workload.config
+        tokens = workload.batch_size * workload.seq_len
+        qkv_and_output = GEMMShape(m=tokens, k=cfg.hidden, n=cfg.hidden)
+        return 4 * self.matmul_engine.gemm_latency_s(qkv_and_output)
+
+    def _ffn_latency_s(self, workload: BertWorkload) -> float:
+        cfg = workload.config
+        tokens = workload.batch_size * workload.seq_len
+        up = GEMMShape(m=tokens, k=cfg.hidden, n=cfg.intermediate)
+        down = GEMMShape(m=tokens, k=cfg.intermediate, n=cfg.hidden)
+        return self.matmul_engine.gemm_latency_s(up) + self.matmul_engine.gemm_latency_s(down)
+
+    def attention_stage_timing(self, workload: BertWorkload) -> StageTiming:
+        """Per-row stage timings of the attention pipeline for one layer.
+
+        The per-row GEMM latencies are divided by the number of concurrent
+        head-streams the tile budget supports, and the softmax row latency
+        by the number of parallel softmax engines: the timings describe the
+        *aggregate* row intervals the pipeline model consumes.
+        """
+        cfg = workload.config
+        seq_len = workload.seq_len
+        score_shape = GEMMShape(m=1, k=cfg.head_dim, n=seq_len)
+        context_shape = GEMMShape(m=1, k=seq_len, n=cfg.head_dim)
+        num_rows = workload.batch_size * cfg.num_heads * seq_len
+        streams = attention_streams(
+            cfg.num_heads, workload.batch_size, self.config.matmul.num_tiles
+        )
+        softmax_row = self.softmax_engine.row_latency_s(seq_len) / self.num_softmax_engines
+        return StageTiming(
+            score_row_s=self.matmul_engine.row_latency_s(score_shape) / streams,
+            softmax_row_s=softmax_row,
+            context_row_s=self.matmul_engine.row_latency_s(context_shape) / streams,
+            num_rows=num_rows,
+        )
+
+    def layer_latency_breakdown(self, workload: BertWorkload) -> LayerLatencyBreakdown:
+        """Latency components of one encoder layer."""
+        timing = self.attention_stage_timing(workload)
+        schedule = self.pipeline.latency(timing)
+        softmax_only = timing.softmax_row_s * timing.num_rows
+        return LayerLatencyBreakdown(
+            projection_s=self._projection_latency_s(workload),
+            attention_pipeline_s=schedule.total_latency_s,
+            ffn_s=self._ffn_latency_s(workload),
+            softmax_only_s=softmax_only,
+        )
+
+    def inference_latency_s(self, workload: BertWorkload) -> float:
+        """End-to-end latency of one BERT inference."""
+        layer = self.layer_latency_breakdown(workload)
+        return workload.config.num_layers * layer.total_s
+
+    # ------------------------------------------------------------------ #
+    # power and area
+    # ------------------------------------------------------------------ #
+    def power_w(self, seq_len: int = 128) -> float:
+        """Average chip power while executing BERT-base inference."""
+        tiles = self.matmul_engine.peak_power_w()
+        softmax = self.num_softmax_engines * self.softmax_engine.power_w(seq_len)
+        overhead = self.system_overhead.total_power_w(self.config.matmul.num_tiles)
+        return tiles + softmax + overhead
+
+    def area_mm2(self) -> float:
+        """Total chip area."""
+        tiles = self.matmul_engine.area_mm2()
+        softmax = self.num_softmax_engines * self.softmax_engine.area_mm2()
+        overhead = self.system_overhead.total_area_mm2(self.config.matmul.num_tiles)
+        return tiles + softmax + overhead
+
+    # ------------------------------------------------------------------ #
+    # reports
+    # ------------------------------------------------------------------ #
+    def cost_report(self, workload: BertWorkload) -> CostReport:
+        """Fig. 3 computing-efficiency report for one BERT workload."""
+        latency = self.inference_latency_s(workload)
+        return CostReport(
+            name=self.name,
+            area_mm2=self.area_mm2(),
+            power_w=self.power_w(workload.seq_len),
+            latency_s=latency,
+            operations=float(workload.total_ops()),
+        )
+
+    def computing_efficiency_gops_per_watt(self, workload: BertWorkload) -> float:
+        """The headline metric of Fig. 3."""
+        return self.cost_report(workload).computing_efficiency_gops_per_watt

@@ -1,0 +1,180 @@
+"""The CAM/SUB crossbar: STAR's ``x_i - x_max`` stage (Fig. 1 of the paper).
+
+One RRAM crossbar is used in a time-multiplexed manner for two jobs:
+
+1. **CAM phase — find the maximum.**  Every representable score level is
+   stored on one wordline, in *descending* order.  Each input ``x_i`` is
+   searched against all wordlines in parallel; its matchline one-hot vector
+   marks the row holding its value.  OR gates merge the match vectors of all
+   inputs, and because the stored levels are descending, the first '1' in
+   the merged vector is the row of ``x_max``.
+2. **SUB phase — subtract.**  For each input, the crossbar is driven with
+   the input's match vector as wordline voltages and a negative voltage on
+   the ``x_max`` row; the source-line output is then ``x_i - x_max``.
+
+The class simulates the functional behaviour exactly (including the optional
+CAM search-error injection) and accounts latency / energy / area of the
+512 x 18 crossbar, its matchline sense amplifiers and the OR-merge logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.area import CrossbarAreaModel
+from repro.circuits.components import OrGateArray, Register
+from repro.circuits.technology import DEFAULT_TECHNOLOGY
+from repro.core.config import SoftmaxEngineConfig
+from repro.rram.cam import CAMConfig, CAMCrossbar
+from repro.utils.validation import as_1d_float_array
+
+__all__ = ["CamSubResult", "CamSubCrossbar"]
+
+
+@dataclass(frozen=True)
+class CamSubResult:
+    """Output of one CAM/SUB pass over a score vector.
+
+    Attributes
+    ----------
+    max_value:
+        The quantised ``x_max``.
+    max_row:
+        CAM row index holding ``x_max`` (rows are in descending value order).
+    differences:
+        Non-negative magnitudes ``x_max - x_i`` on the quantisation grid.
+    difference_codes:
+        The same magnitudes as integer codes (units of one LSB).
+    """
+
+    max_value: float
+    max_row: int
+    differences: np.ndarray
+    difference_codes: np.ndarray
+
+
+class CamSubCrossbar:
+    """Functional and cost model of the CAM/SUB crossbar."""
+
+    def __init__(self, config: SoftmaxEngineConfig | None = None) -> None:
+        self.config = config or SoftmaxEngineConfig()
+        fmt = self.config.fmt
+        cam_config = CAMConfig(
+            rows=self.config.cam_sub_rows,
+            bits=fmt.magnitude_bits,
+            search_error_rate=0.0,
+            seed=0,
+        )
+        self.cam = CAMCrossbar(cam_config)
+        # store every representable level in DESCENDING order (Fig. 1):
+        # row 0 holds the largest code, so the first merged match is x_max.
+        self._codes_descending = np.arange(fmt.num_levels - 1, -1, -1, dtype=np.int64)
+        self.cam.program_codes(self._codes_descending)
+        self._area_model = CrossbarAreaModel()
+        self._or_gates = OrGateArray.cost(self.config.cam_sub_rows, DEFAULT_TECHNOLOGY)
+        self._result_register = Register.cost(self.config.cam_sub_rows, DEFAULT_TECHNOLOGY)
+
+    # ------------------------------------------------------------------ #
+    # functional behaviour
+    # ------------------------------------------------------------------ #
+    def quantize_scores(self, scores: np.ndarray) -> np.ndarray:
+        """Clip and round raw scores onto the engine's fixed-point grid.
+
+        Scores are clipped to the offset-binary signed range of the CAM code
+        space (e.g. [-32, +31.75] for the 8-bit CNEWS format), matching
+        :class:`repro.nn.softmax_models.FixedPointSoftmax`.
+        """
+        fmt = self.config.fmt
+        arr = np.asarray(scores, dtype=np.float64)
+        clipped = np.clip(arr, fmt.signed_min_value, fmt.signed_max_value)
+        return np.rint(clipped / fmt.resolution) * fmt.resolution
+
+    def _score_to_row(self, quantized_scores: np.ndarray) -> np.ndarray:
+        """Map quantised scores to CAM row indices (descending storage order).
+
+        The CAM stores score *levels*; scores can be negative, so they are
+        offset into the unsigned code space ``[0, num_levels)`` by biasing
+        with half the range — the standard offset-binary trick that lets one
+        unsigned CAM cover a signed range.
+        """
+        fmt = self.config.fmt
+        bias_levels = fmt.num_levels // 2
+        codes = np.rint(quantized_scores / fmt.resolution).astype(np.int64) + bias_levels
+        codes = np.clip(codes, 0, fmt.num_levels - 1)
+        # row r stores code (num_levels - 1 - r)
+        return fmt.num_levels - 1 - codes
+
+    def process(self, scores: np.ndarray) -> CamSubResult:
+        """Run the CAM phase and the SUB phase over one score vector."""
+        vector = as_1d_float_array(scores, "scores")
+        if vector.size < 1:
+            raise ValueError("score vector must not be empty")
+        fmt = self.config.fmt
+        quantized = self.quantize_scores(vector)
+
+        # --- CAM phase: search each input, merge match vectors with ORs ----
+        bias_levels = fmt.num_levels // 2
+        search_codes = (
+            np.rint(quantized / fmt.resolution).astype(np.int64) + bias_levels
+        )
+        search_codes = np.clip(search_codes, 0, fmt.num_levels - 1)
+        matches = self.cam.search_many(search_codes)  # (n, rows)
+        merged = np.any(matches, axis=0)
+        hit_rows = np.flatnonzero(merged)
+        if hit_rows.size == 0:
+            raise RuntimeError("CAM search produced no match for any input")
+        max_row = int(hit_rows[0])  # descending order: first hit is the max
+        max_code = int(self.cam.stored_codes[max_row])
+        max_value = (max_code - bias_levels) * fmt.resolution
+
+        # --- SUB phase: x_max - x_i, non-negative magnitudes ---------------
+        differences = np.clip(max_value - quantized, 0.0, None)
+        difference_codes = np.rint(differences / fmt.resolution).astype(np.int64)
+        return CamSubResult(
+            max_value=max_value,
+            max_row=max_row,
+            differences=differences,
+            difference_codes=difference_codes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # costs
+    # ------------------------------------------------------------------ #
+    def area_um2(self) -> float:
+        """CAM/SUB crossbar array + matchline SAs + OR merge + result register."""
+        cam_area = self._area_model.cam_crossbar_area_um2(
+            self.config.cam_sub_rows, self.config.fmt.magnitude_bits
+        )
+        return cam_area + self._or_gates.area_um2 + self._result_register.area_um2
+
+    def power_w(self) -> float:
+        """Average power while continuously processing rows."""
+        # energy per row over latency per row at a representative length
+        representative_len = 128
+        return self.row_energy_j(representative_len) / self.row_latency_s(representative_len)
+
+    def row_latency_s(self, seq_len: int) -> float:
+        """Latency of processing one score row of ``seq_len`` elements.
+
+        The CAM phase searches the inputs one per cycle (all wordlines in
+        parallel per input); the SUB phase likewise produces one difference
+        per cycle through the same time-multiplexed crossbar.
+        """
+        if seq_len < 1:
+            raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+        search = seq_len * self.cam.search_latency_s()
+        merge = self._or_gates.latency_s
+        subtract = seq_len * self.cam.search_latency_s()
+        return search + merge + subtract
+
+    def row_energy_j(self, seq_len: int) -> float:
+        """Energy of processing one score row of ``seq_len`` elements."""
+        if seq_len < 1:
+            raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+        search = seq_len * self.cam.search_energy_j()
+        merge = seq_len * self._or_gates.energy_per_op_j
+        subtract = seq_len * self.cam.search_energy_j()
+        register = self._result_register.energy_per_op_j
+        return search + merge + subtract + register

@@ -1,0 +1,80 @@
+"""Digital divider performing the final softmax normalisation.
+
+The divider is the only non-crossbar arithmetic in STAR's softmax engine:
+it divides every LUT output ``e^{x_i - x_max}`` by the denominator produced
+by the VMM crossbar.  It is modelled as a sequential (one-quotient-bit-per-
+cycle) divider whose cost comes from
+:class:`~repro.circuits.components.Divider`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.components import Divider
+from repro.circuits.technology import DEFAULT_TECHNOLOGY, TechnologyNode
+from repro.utils.validation import as_1d_float_array
+
+__all__ = ["DividerUnit"]
+
+
+class DividerUnit:
+    """Fixed-point divider with configurable quotient precision."""
+
+    def __init__(
+        self,
+        bits: int = 16,
+        quotient_frac_bits: int = 0,
+        tech: TechnologyNode = DEFAULT_TECHNOLOGY,
+    ) -> None:
+        if bits < 4:
+            raise ValueError(f"divider width must be >= 4 bits, got {bits}")
+        if quotient_frac_bits < 0:
+            raise ValueError(
+                f"quotient_frac_bits must be >= 0, got {quotient_frac_bits}"
+            )
+        self.bits = bits
+        self.quotient_frac_bits = quotient_frac_bits
+        self._cost = Divider.cost(bits, tech)
+        self.divide_count = 0
+
+    # ------------------------------------------------------------------ #
+    # functional behaviour
+    # ------------------------------------------------------------------ #
+    def divide(self, numerators: np.ndarray, denominator: float) -> np.ndarray:
+        """Quotients ``numerators / denominator``.
+
+        With ``quotient_frac_bits == 0`` the quotient keeps full precision;
+        otherwise it is truncated to that many fractional bits, modelling a
+        narrow hardware quotient.  A zero (or non-positive) denominator
+        saturates to a uniform distribution, mirroring what the hardware's
+        saturation logic would emit.
+        """
+        values = as_1d_float_array(numerators, "numerators")
+        self.divide_count += values.size
+        if denominator <= 0.0:
+            return np.full_like(values, 1.0 / values.size)
+        quotients = values / denominator
+        if self.quotient_frac_bits > 0:
+            scale = float(1 << self.quotient_frac_bits)
+            quotients = np.floor(quotients * scale) / scale
+        return quotients
+
+    # ------------------------------------------------------------------ #
+    # costs
+    # ------------------------------------------------------------------ #
+    def area_um2(self) -> float:
+        """Divider area."""
+        return self._cost.area_um2
+
+    def power_w(self) -> float:
+        """Divider power while active."""
+        return self._cost.power_w
+
+    def divide_latency_s(self) -> float:
+        """Latency of one division (``bits`` cycles for the sequential divider)."""
+        return self._cost.latency_s
+
+    def divide_energy_j(self) -> float:
+        """Energy of one division."""
+        return self._cost.energy_per_op_j

@@ -1,0 +1,202 @@
+"""The exponential unit of the softmax engine (Fig. 2 of the paper).
+
+Three crossbars and a counter bank cooperate:
+
+* a **CAM crossbar** stores every representable ``x_max - x_i`` magnitude
+  code; searching a difference code returns a one-hot match vector (a miss
+  means the difference is so large that its exponential rounds to zero);
+* a **LUT crossbar** stores ``round(e^{-d} * 2^m) * 2^{-m}`` per row; the
+  match vector selects the row, and the read-out word *is* the exponential
+  of the input;
+* the **counter bank** accumulates how many inputs matched each row;
+* a **VMM crossbar** storing the very same exponential values turns the
+  final counter histogram into the softmax denominator
+  ``sum_j e^{x_j - x_max}`` in a single analog pass.
+
+With ideal devices the unit's numerics are exactly those of
+:class:`repro.nn.softmax_models.FixedPointSoftmax`; the noise configuration
+lets the E9 ablation perturb the LUT readout and the analog summation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.area import CrossbarAreaModel
+from repro.core.config import SoftmaxEngineConfig
+from repro.core.counter import CounterBank
+from repro.rram.cam import CAMConfig, CAMCrossbar
+from repro.rram.converters import ADC, DAC
+from repro.rram.lut import LUTConfig, LUTCrossbar, exponential_lut_entries
+from repro.rram.noise import NoiseModel
+
+__all__ = ["ExponentResult", "ExponentialUnit"]
+
+
+@dataclass(frozen=True)
+class ExponentResult:
+    """Output of the exponential unit for one row of differences.
+
+    Attributes
+    ----------
+    exponentials:
+        ``e^{x_i - x_max}`` per element, quantised to the LUT grid (zero for
+        CAM misses).
+    denominator:
+        ``sum_j e^{x_j - x_max}`` as produced by the VMM crossbar.
+    histogram:
+        Final counter values (matches per representable level).
+    misses:
+        Number of inputs whose difference exceeded the stored range.
+    """
+
+    exponentials: np.ndarray
+    denominator: float
+    histogram: np.ndarray
+    misses: int
+
+
+class ExponentialUnit:
+    """Functional and cost model of the CAM + LUT + counter + VMM unit."""
+
+    def __init__(self, config: SoftmaxEngineConfig | None = None) -> None:
+        self.config = config or SoftmaxEngineConfig()
+        cfg = self.config
+        fmt = cfg.fmt
+
+        self.cam = CAMCrossbar(
+            CAMConfig(rows=cfg.exp_rows, bits=fmt.magnitude_bits, seed=1)
+        )
+        stored_levels = min(cfg.exp_rows, fmt.num_levels)
+        self._stored_levels = stored_levels
+        self.cam.program_codes(np.arange(stored_levels, dtype=np.int64))
+
+        self.lut = LUTCrossbar(
+            LUTConfig(
+                rows=cfg.exp_rows,
+                value_bits=cfg.lut_value_bits,
+                frac_bits=cfg.lut_frac_bits,
+            )
+        )
+        arguments = -np.arange(stored_levels, dtype=np.float64) * fmt.resolution
+        self._lut_values = exponential_lut_entries(arguments, cfg.lut_frac_bits)
+        self.lut.program_values(self._lut_values)
+
+        # Only levels whose LUT entry is non-zero need a counter: rows whose
+        # exponential already rounds to zero contribute nothing to the
+        # denominator, so a match there never has to be counted.  With m = 4
+        # this is ~16-32 counters instead of one per CAM row.
+        self._active_levels = int(np.count_nonzero(self._lut_values))
+        self.counters = CounterBank(
+            num_counters=max(1, self._active_levels), bits=cfg.counter_bits
+        )
+        self.noise = NoiseModel(cfg.noise)
+        self._area_model = CrossbarAreaModel()
+        # the VMM crossbar's ADC must cover the sum's dynamic range; 10 bits
+        # is enough for sequence lengths up to the counters' capacity
+        self._vmm_adc = ADC(bits=10)
+        self._vmm_dac = DAC(bits=cfg.counter_bits)
+
+    # ------------------------------------------------------------------ #
+    # functional behaviour
+    # ------------------------------------------------------------------ #
+    @property
+    def lut_values(self) -> np.ndarray:
+        """The quantised exponential table (index = difference code)."""
+        return self._lut_values.copy()
+
+    def process(self, difference_codes: np.ndarray) -> ExponentResult:
+        """Exponentials and denominator for one row of difference codes."""
+        codes = np.asarray(difference_codes, dtype=np.int64).ravel()
+        if codes.size < 1:
+            raise ValueError("difference_codes must not be empty")
+        if np.any(codes < 0):
+            raise ValueError("difference codes must be non-negative magnitudes")
+
+        hits = codes < self._stored_levels
+        exponentials = np.zeros(codes.size, dtype=np.float64)
+        exponentials[hits] = self._lut_values[codes[hits]]
+        # analog LUT readout noise (zero in the ideal configuration)
+        exponentials = self.noise.perturb_current(exponentials)
+
+        # only matches on levels with a non-zero exponential are counted;
+        # everything else would multiply a zero LUT entry in the summation
+        counted = codes < self._active_levels
+        rows = np.where(counted, codes, -1)
+        self.counters.reset()
+        histogram = self.counters.accumulate_histogram(rows)
+
+        denominator = float(histogram @ self._lut_values[: self.counters.num_counters])
+        denominator = float(self.noise.perturb_current(np.asarray([denominator]))[0])
+
+        return ExponentResult(
+            exponentials=exponentials,
+            denominator=denominator,
+            histogram=histogram,
+            misses=int(np.count_nonzero(~hits)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # costs
+    # ------------------------------------------------------------------ #
+    def area_um2(self) -> float:
+        """CAM + LUT + VMM crossbars, counters, and the VMM converters."""
+        cfg = self.config
+        cam_area = self._area_model.cam_crossbar_area_um2(
+            cfg.exp_rows, cfg.fmt.magnitude_bits
+        )
+        lut_area = self._area_model.lut_crossbar_area_um2(cfg.exp_rows, cfg.lut_value_bits)
+        vmm_area = self._area_model.vmm_crossbar_area_um2(
+            cfg.exp_rows, cfg.lut_value_bits, adc=self._vmm_adc, dac=self._vmm_dac, adc_share=cfg.lut_value_bits
+        )
+        return cam_area + lut_area + vmm_area + self.counters.area_um2()
+
+    def element_latency_s(self) -> float:
+        """Latency of one element: CAM search then LUT read (counter overlaps)."""
+        return self.cam.search_latency_s() + self.lut.read_latency_s()
+
+    def element_energy_j(self) -> float:
+        """Energy of one element: CAM search + LUT read + counter increment."""
+        return (
+            self.cam.search_energy_j()
+            + self.lut.read_energy_j()
+            + self.counters.increment_energy_j()
+        )
+
+    def summation_latency_s(self) -> float:
+        """Latency of the single VMM pass producing the denominator."""
+        return (
+            self._vmm_dac.latency_s
+            + self.lut.config.device.read_pulse_s
+            + self._vmm_adc.latency_s
+        )
+
+    def summation_energy_j(self) -> float:
+        """Energy of the single VMM pass producing the denominator."""
+        cfg = self.config
+        v = self.lut.config.device.read_voltage_v
+        g_mid = 0.5 * (
+            1.0 / self.lut.config.device.r_on_ohm + 1.0 / self.lut.config.device.r_off_ohm
+        )
+        array = cfg.exp_rows * cfg.lut_value_bits * v * v * g_mid * self.lut.config.device.read_pulse_s
+        dacs = cfg.exp_rows * self._vmm_dac.energy_per_conversion_j
+        adc = self._vmm_adc.energy_per_conversion_j
+        return array + dacs + adc
+
+    def row_latency_s(self, seq_len: int) -> float:
+        """Latency of the exponential stage for one row of ``seq_len`` elements."""
+        if seq_len < 1:
+            raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+        return seq_len * self.element_latency_s() + self.summation_latency_s()
+
+    def row_energy_j(self, seq_len: int) -> float:
+        """Energy of the exponential stage for one row of ``seq_len`` elements."""
+        if seq_len < 1:
+            raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+        return seq_len * self.element_energy_j() + self.summation_energy_j()
+
+    def power_w(self) -> float:
+        """Average power while continuously processing elements."""
+        return self.element_energy_j() / self.element_latency_s()

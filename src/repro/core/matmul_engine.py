@@ -1,0 +1,229 @@
+"""STAR's MatMul engine: ReTransformer-style RRAM crossbar GEMM tiles.
+
+The MatMul engine "follows the design in ReTransformer" (Section II of the
+paper): weights (or, for the attention score product, the dynamically
+written K / V operands) are mapped to 128 x 128 crossbar tiles, inputs are
+streamed bit-serially through 1-bit wordline DACs, and 5-bit ADCs read the
+bitline sums.
+
+The class provides both
+
+* a *functional* path — :meth:`matvec_tile` / :meth:`matmul` — built on
+  :class:`repro.rram.crossbar.AnalogCrossbar`, used by the examples and the
+  crossbar-fidelity tests, and
+* an *analytical cost* path — :meth:`gemm_latency_s`, :meth:`gemm_energy_j`,
+  :meth:`row_latency_s` — used by the pipeline model and the Fig. 3
+  efficiency comparison, where simulating every analog access would be
+  pointlessly slow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.area import CrossbarAreaModel
+from repro.core.config import MatMulEngineConfig
+from repro.rram.converters import ADC, DAC
+from repro.rram.crossbar import AnalogCrossbar, CrossbarConfig
+from repro.rram.device import RRAMDeviceConfig
+from repro.utils.validation import require_positive
+
+__all__ = ["GEMMShape", "MatMulEngine"]
+
+
+@dataclass(frozen=True)
+class GEMMShape:
+    """Dimensions of one GEMM: ``(M x K) @ (K x N)``."""
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.k < 1 or self.n < 1:
+            raise ValueError(f"GEMM dimensions must be positive, got {self}")
+
+    @property
+    def operations(self) -> int:
+        """Primitive operations (MAC = 2 ops)."""
+        return 2 * self.m * self.k * self.n
+
+
+class MatMulEngine:
+    """A bank of RRAM crossbar tiles executing GEMMs."""
+
+    name = "STAR MatMul engine"
+
+    def __init__(self, config: MatMulEngineConfig | None = None) -> None:
+        self.config = config or MatMulEngineConfig()
+        cfg = self.config
+        self._tile_config = CrossbarConfig(
+            rows=cfg.crossbar_rows,
+            cols=cfg.crossbar_cols,
+            device=RRAMDeviceConfig(bits_per_cell=cfg.bits_per_cell),
+            adc_bits=cfg.adc_bits,
+            dac_bits=cfg.dac_bits,
+            input_bits=cfg.input_bits,
+            noise=cfg.noise,
+            differential=True,
+        )
+        self._reference_tile = AnalogCrossbar(self._tile_config)
+        self._area_model = CrossbarAreaModel()
+        self._adc = ADC(bits=cfg.adc_bits)
+        self._dac = DAC(bits=cfg.dac_bits)
+
+    # ------------------------------------------------------------------ #
+    # functional path (small-scale demos and tests)
+    # ------------------------------------------------------------------ #
+    def new_tile(self) -> AnalogCrossbar:
+        """A freshly constructed crossbar tile with this engine's configuration."""
+        return AnalogCrossbar(self._tile_config)
+
+    def matvec_tile(self, matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+        """Analog ``vector @ matrix`` on one tile (shapes must fit the tile)."""
+        tile = self.new_tile()
+        tile.program(matrix)
+        return tile.matvec(vector)
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Analog ``a @ b`` by tiling ``b`` across crossbars.
+
+        Intended for example-scale matrices; each ``crossbar_rows x
+        crossbar_cols`` block of ``b`` is programmed into a tile and every
+        row of ``a`` is streamed through it.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError("matmul expects two 2-D matrices")
+        if a.shape[1] != b.shape[0]:
+            raise ValueError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+        rows, cols = self.config.crossbar_rows, self.config.crossbar_cols
+        m, k = a.shape
+        _, n = b.shape
+        out = np.zeros((m, n), dtype=np.float64)
+        for k0 in range(0, k, rows):
+            k1 = min(k0 + rows, k)
+            for n0 in range(0, n, cols):
+                n1 = min(n0 + cols, n)
+                block = np.zeros((rows, cols))
+                block[: k1 - k0, : n1 - n0] = b[k0:k1, n0:n1]
+                tile = self.new_tile()
+                tile.program(block)
+                for i in range(m):
+                    vector = np.zeros(rows)
+                    segment = a[i, k0:k1]
+                    offset = float(np.min(segment))
+                    vector[: k1 - k0] = segment - offset  # wordlines need >= 0 inputs
+                    result = tile.matvec(vector)
+                    correction = offset * np.sum(block, axis=0)
+                    out[i, n0:n1] += result[: n1 - n0] + correction[: n1 - n0]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # per-tile costs
+    # ------------------------------------------------------------------ #
+    def tile_vmm_latency_s(self) -> float:
+        """Latency of one tile VMM (all bit-serial input cycles)."""
+        return self._reference_tile.vmm_latency_s()
+
+    def tile_vmm_energy_j(self) -> float:
+        """Energy of one tile VMM."""
+        return self._reference_tile.vmm_energy_j()
+
+    def tile_ops(self) -> int:
+        """Primitive operations completed by one tile VMM (MAC = 2 ops)."""
+        return 2 * self.config.crossbar_rows * self.config.crossbar_cols
+
+    def tile_area_um2(self) -> float:
+        """Area of one tile including DACs, S&H and shared ADCs."""
+        cfg = self.config
+        return self._area_model.vmm_crossbar_area_um2(
+            cfg.crossbar_rows,
+            cfg.crossbar_cols * 2,  # differential column pairs
+            adc=self._adc,
+            dac=self._dac,
+        )
+
+    def tile_power_w(self) -> float:
+        """Average power of one tile running VMMs back to back."""
+        return self.tile_vmm_energy_j() / self.tile_vmm_latency_s()
+
+    # ------------------------------------------------------------------ #
+    # engine-level costs
+    # ------------------------------------------------------------------ #
+    def area_um2(self) -> float:
+        """Total area of all tiles."""
+        return self.config.num_tiles * self.tile_area_um2()
+
+    def area_mm2(self) -> float:
+        """Total area of all tiles in mm^2."""
+        return self.area_um2() * 1e-6
+
+    def peak_power_w(self) -> float:
+        """Power with every tile active."""
+        return self.config.num_tiles * self.tile_power_w()
+
+    def peak_throughput_ops(self) -> float:
+        """Operations per second with every tile active."""
+        return self.config.num_tiles * self.tile_ops() / self.tile_vmm_latency_s()
+
+    def _tiles_for(self, shape: GEMMShape) -> int:
+        cfg = self.config
+        return math.ceil(shape.k / cfg.crossbar_rows) * math.ceil(shape.n / cfg.crossbar_cols)
+
+    def gemm_tile_vmms(self, shape: GEMMShape) -> int:
+        """Number of tile VMM activations needed for one GEMM."""
+        return self._tiles_for(shape) * shape.m
+
+    def gemm_latency_s(self, shape: GEMMShape, tiles_available: int | None = None) -> float:
+        """Latency of one GEMM with ``tiles_available`` tiles working in parallel.
+
+        With ``allow_duplication`` the stationary operand is replicated
+        across otherwise-idle tiles so different input rows proceed in
+        parallel; otherwise parallelism is capped by the number of distinct
+        tiles the operand occupies.
+        """
+        tiles = tiles_available if tiles_available is not None else self.config.num_tiles
+        require_positive(tiles, "tiles_available")
+        total_vmms = self.gemm_tile_vmms(shape)
+        if self.config.allow_duplication:
+            parallel = tiles
+        else:
+            parallel = min(tiles, self._tiles_for(shape))
+        waves = math.ceil(total_vmms / parallel)
+        return waves * self.tile_vmm_latency_s()
+
+    def gemm_energy_j(self, shape: GEMMShape) -> float:
+        """Energy of one GEMM."""
+        return self.gemm_tile_vmms(shape) * self.tile_vmm_energy_j()
+
+    def row_latency_s(self, shape: GEMMShape) -> float:
+        """Latency of producing one output row of a GEMM (pipeline granule).
+
+        All tiles holding the stationary operand work in parallel on the same
+        input row, so a row takes one tile-VMM latency regardless of ``n``
+        (as long as enough tiles are provisioned).
+        """
+        tiles_needed = self._tiles_for(shape)
+        waves = math.ceil(tiles_needed / self.config.num_tiles)
+        return waves * self.tile_vmm_latency_s()
+
+    def programming_energy_j(self, shape: GEMMShape) -> float:
+        """Energy of writing the stationary ``K x N`` operand into the tiles.
+
+        Only accelerators that rewrite dynamic operands (e.g. PipeLayer
+        executing attention) pay this per inference; ReTransformer and STAR
+        avoid it through matrix decomposition, but the figure is exposed for
+        the ablation benchmarks.
+        """
+        cells = shape.k * shape.n * 2  # differential pairs
+        return cells * self._reference_tile.device.config.write_energy_j
+
+    def programming_latency_s(self, shape: GEMMShape) -> float:
+        """Latency of writing the stationary operand (row-parallel writes)."""
+        rows_to_write = math.ceil(shape.k / self.config.crossbar_rows) * self.config.crossbar_rows
+        return rows_to_write * self._reference_tile.device.config.write_pulse_s

@@ -1,0 +1,186 @@
+"""STAR's RRAM softmax engine: CAM/SUB + exponential unit + divider.
+
+This is the paper's central contribution.  The engine processes one softmax
+row (one row of the attention-score matrix) as follows:
+
+1. the **CAM/SUB crossbar** quantises the scores, finds ``x_max`` by CAM
+   search and produces the non-negative differences ``x_max - x_i``
+   (:mod:`repro.core.cam_sub`);
+2. the **exponential unit** looks every difference up in the CAM/LUT pair,
+   accumulates the per-level histogram in counters and produces the
+   denominator with one VMM-crossbar pass (:mod:`repro.core.exponent`);
+3. the **divider** normalises each exponential by the denominator
+   (:mod:`repro.core.divider`).
+
+With ideal devices the output is bit-identical to the functional
+:class:`repro.nn.softmax_models.FixedPointSoftmax` model, which is what the
+accuracy experiments use at scale; this class additionally accounts the
+area, power, latency and energy that Table I and Fig. 3 need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.energy import EnergyLedger
+from repro.core.cam_sub import CamSubCrossbar
+from repro.core.config import SoftmaxEngineConfig
+from repro.core.divider import DividerUnit
+from repro.core.exponent import ExponentialUnit
+from repro.utils.fixed_point import FixedPointFormat
+from repro.utils.validation import as_1d_float_array
+
+__all__ = ["SoftmaxRowTrace", "RRAMSoftmaxEngine"]
+
+
+@dataclass(frozen=True)
+class SoftmaxRowTrace:
+    """Intermediate values of one row for debugging and tests."""
+
+    quantized_scores: np.ndarray
+    max_value: float
+    differences: np.ndarray
+    exponentials: np.ndarray
+    denominator: float
+    probabilities: np.ndarray
+
+
+class RRAMSoftmaxEngine:
+    """The complete RRAM-crossbar softmax engine."""
+
+    name = "STAR RRAM softmax"
+
+    def __init__(self, config: SoftmaxEngineConfig | None = None) -> None:
+        self.config = config or SoftmaxEngineConfig()
+        self.cam_sub = CamSubCrossbar(self.config)
+        self.exponential = ExponentialUnit(self.config)
+        self.divider = DividerUnit(bits=self.config.divider_bits)
+        self.rows_processed = 0
+
+    @property
+    def fmt(self) -> FixedPointFormat:
+        """The fixed-point input format the engine is configured for."""
+        return self.config.fmt
+
+    # ------------------------------------------------------------------ #
+    # functional behaviour
+    # ------------------------------------------------------------------ #
+    def softmax_row(self, scores: np.ndarray) -> np.ndarray:
+        """Softmax of a single score vector."""
+        return self.softmax_row_trace(scores).probabilities
+
+    def softmax_row_trace(self, scores: np.ndarray) -> SoftmaxRowTrace:
+        """Softmax of a single score vector, returning every intermediate."""
+        vector = as_1d_float_array(scores, "scores")
+        cam_result = self.cam_sub.process(vector)
+        exp_result = self.exponential.process(cam_result.difference_codes)
+        probabilities = self.divider.divide(exp_result.exponentials, exp_result.denominator)
+        self.rows_processed += 1
+        return SoftmaxRowTrace(
+            quantized_scores=self.cam_sub.quantize_scores(vector),
+            max_value=cam_result.max_value,
+            differences=cam_result.differences,
+            exponentials=exp_result.exponentials,
+            denominator=exp_result.denominator,
+            probabilities=probabilities,
+        )
+
+    def softmax(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Softmax along ``axis`` of an arbitrary-rank array (row by row)."""
+        arr = np.asarray(x, dtype=np.float64)
+        moved = np.moveaxis(arr, axis, -1)
+        flat = moved.reshape(-1, moved.shape[-1])
+        out = np.empty_like(flat)
+        for i in range(flat.shape[0]):
+            out[i] = self.softmax_row(flat[i])
+        return np.moveaxis(out.reshape(moved.shape), -1, axis)
+
+    def __call__(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Alias for :meth:`softmax`, so the engine plugs into the NN layers."""
+        return self.softmax(x, axis=axis)
+
+    # ------------------------------------------------------------------ #
+    # costs
+    # ------------------------------------------------------------------ #
+    def area_um2(self) -> float:
+        """Total engine area: both crossbar groups plus the divider."""
+        return (
+            self.cam_sub.area_um2()
+            + self.exponential.area_um2()
+            + self.divider.area_um2()
+        )
+
+    def area_mm2(self) -> float:
+        """Total engine area in mm^2."""
+        return self.area_um2() * 1e-6
+
+    def row_latency_s(self, seq_len: int, parallel_dividers: int = 4) -> float:
+        """Latency of one softmax row of ``seq_len`` elements.
+
+        The divider stage is provisioned with a small number of parallel
+        sequential dividers; divisions of one row overlap with the CAM/LUT
+        processing of the next, so only the residual (non-overlapped) share
+        is charged here.
+        """
+        if seq_len < 1:
+            raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+        if parallel_dividers < 1:
+            raise ValueError(f"parallel_dividers must be >= 1, got {parallel_dividers}")
+        cam_sub = self.cam_sub.row_latency_s(seq_len)
+        exponent = self.exponential.row_latency_s(seq_len)
+        divide_passes = -(-seq_len // parallel_dividers)
+        divide = divide_passes * self.divider.divide_latency_s()
+        overlap = min(divide, cam_sub + exponent)
+        return cam_sub + exponent + divide - 0.5 * overlap
+
+    def row_energy_j(self, seq_len: int) -> float:
+        """Energy of one softmax row of ``seq_len`` elements."""
+        if seq_len < 1:
+            raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+        return (
+            self.cam_sub.row_energy_j(seq_len)
+            + self.exponential.row_energy_j(seq_len)
+            + seq_len * self.divider.divide_energy_j()
+        )
+
+    def power_w(self, seq_len: int = 128) -> float:
+        """Average power while continuously processing rows of ``seq_len``."""
+        return self.row_energy_j(seq_len) / self.row_latency_s(seq_len)
+
+    def element_energy_j(self) -> float:
+        """Average energy per softmax element at a representative row length."""
+        seq_len = 128
+        return self.row_energy_j(seq_len) / seq_len
+
+    def row_ledger(self, seq_len: int) -> EnergyLedger:
+        """Per-component ledger for one softmax row (used by Table I)."""
+        if seq_len < 1:
+            raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+        ledger = EnergyLedger()
+        ledger.record(
+            "CAM/SUB crossbar",
+            energy_j=self.cam_sub.row_energy_j(seq_len),
+            latency_s=self.cam_sub.row_latency_s(seq_len),
+        )
+        ledger.record_area("CAM/SUB crossbar", self.cam_sub.area_um2())
+        ledger.record(
+            "exponential unit (CAM+LUT+VMM+counters)",
+            energy_j=self.exponential.row_energy_j(seq_len),
+            latency_s=self.exponential.row_latency_s(seq_len),
+        )
+        ledger.record_area(
+            "exponential unit (CAM+LUT+VMM+counters)", self.exponential.area_um2()
+        )
+        ledger.record(
+            "divider",
+            energy_j=seq_len * self.divider.divide_energy_j(),
+            latency_s=seq_len * self.divider.divide_latency_s(),
+        )
+        ledger.record_area("divider", self.divider.area_um2())
+        return ledger
+
+    def throughput_rows_per_s(self, seq_len: int = 128) -> float:
+        """Softmax rows per second at full utilisation."""
+        return 1.0 / self.row_latency_s(seq_len)

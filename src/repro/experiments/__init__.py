@@ -1,0 +1,5 @@
+"""Experiment runner: regenerate every paper table/figure as a text report."""
+
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]

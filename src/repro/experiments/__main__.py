@@ -1,0 +1,42 @@
+"""Command-line entry point: ``python -m repro.experiments [e1 e2 ...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and print the requested experiment reports."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the STAR paper's tables and figures from the simulation models.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"experiment ids to run (default: all of {', '.join(sorted(EXPERIMENTS))})",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[experiment_id].__doc__ or "").strip().splitlines()[0]
+            print(f"{experiment_id}: {doc}")
+        return 0
+
+    try:
+        print(run_all(args.experiments or None))
+    except KeyError as error:
+        parser.error(str(error))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

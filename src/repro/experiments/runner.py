@@ -1,0 +1,197 @@
+"""Text reports for every experiment — the programmatic face of EXPERIMENTS.md.
+
+Each ``report_*`` function regenerates one of the paper's tables or figures
+and returns it as a formatted string; :func:`run_experiment` dispatches by
+experiment id (``e1`` … ``e9``) and :func:`run_all` concatenates everything.
+The command-line entry point lives in :mod:`repro.experiments.__main__`:
+
+.. code-block:: bash
+
+    python -m repro.experiments          # all experiments
+    python -m repro.experiments e4 e6    # selected experiments
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.ablation import AblationSuite
+from repro.analysis.bitwidth import BitwidthAnalyzer
+from repro.analysis.breakdown import LatencyBreakdownAnalyzer
+from repro.analysis.efficiency import EfficiencyComparison
+from repro.baselines.cmos_softmax import CMOSSoftmaxUnit
+from repro.baselines.softermax import SoftermaxUnit
+from repro.core.cam_sub import CamSubCrossbar
+from repro.core.config import SoftmaxEngineConfig
+from repro.core.exponent import ExponentialUnit
+from repro.core.softmax_engine import RRAMSoftmaxEngine
+from repro.nn.bert import BertWorkload
+from repro.utils.fixed_point import CNEWS_FORMAT
+from repro.workloads import CNEWS_PROFILE, DATASET_PROFILES, AttentionScoreGenerator
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+
+def _header(title: str) -> str:
+    rule = "=" * len(title)
+    return f"{rule}\n{title}\n{rule}"
+
+
+def report_e1_latency_breakdown() -> str:
+    """E1 — softmax share of BERT-base GPU latency vs sequence length."""
+    analyzer = LatencyBreakdownAnalyzer()
+    lines = [_header("E1  Softmax share of BERT-base GPU latency (paper: 59.20% at L=512)")]
+    lines.append(analyzer.format_table())
+    lines.append(f"crossover length: {analyzer.crossover_length()}")
+    return "\n".join(lines)
+
+
+def report_e2_cam_sub() -> str:
+    """E2 — Fig. 1 CAM/SUB crossbar behaviour and costs."""
+    cam_sub = CamSubCrossbar(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+    scores = AttentionScoreGenerator(CNEWS_PROFILE, seed=0).rows(1, 128)[0]
+    result = cam_sub.process(scores)
+    lines = [_header("E2  CAM/SUB crossbar (Fig. 1)")]
+    lines.append(f"inputs                  : 128 scores in [{scores.min():.2f}, {scores.max():.2f}]")
+    lines.append(f"x_max found             : {result.max_value:+.2f} at CAM row {result.max_row}")
+    lines.append(f"differences             : all >= 0, max {result.differences.max():.2f}")
+    lines.append(f"row latency / energy    : {cam_sub.row_latency_s(128) * 1e6:.2f} us / "
+                 f"{cam_sub.row_energy_j(128) * 1e9:.2f} nJ")
+    lines.append(f"area                    : {cam_sub.area_um2():.0f} um^2")
+    return "\n".join(lines)
+
+
+def report_e3_exponential() -> str:
+    """E3 — Fig. 2 exponential unit LUT contents and costs."""
+    config = SoftmaxEngineConfig(fmt=CNEWS_FORMAT)
+    unit = ExponentialUnit(config)
+    values = unit.lut_values
+    step = int(round(1.0 / config.fmt.resolution))
+    lines = [_header("E3  Exponential unit (Fig. 2), LUT rule round(e^x * 2^m) / 2^m, m=4")]
+    lines.append(f"LUT[x=0]  = {values[0]:.4f}   (paper: 1)")
+    lines.append(f"LUT[x=-1] = {values[step]:.4f}   (paper: 0.3679 -> 0.375 at m=4)")
+    lines.append(f"LUT[x=-2] = {values[2 * step]:.4f}   (paper: 0.1353 -> 0.125 at m=4)")
+    lines.append(f"non-zero LUT entries    : {int((values > 0).sum())} of {values.size}")
+    lines.append(f"active counters         : {unit.counters.num_counters}")
+    lines.append(f"row latency / energy    : {unit.row_latency_s(128) * 1e6:.2f} us / "
+                 f"{unit.row_energy_j(128) * 1e9:.2f} nJ")
+    lines.append(f"area                    : {unit.area_um2():.0f} um^2")
+    return "\n".join(lines)
+
+
+def report_e4_bitwidth() -> str:
+    """E4 — Section II per-dataset bit-width table."""
+    analyzer = BitwidthAnalyzer()
+    results = analyzer.analyze_all(DATASET_PROFILES)
+    paper = {"CNEWS": "8 (6i+2f)", "MRPC": "9 (6i+3f)", "CoLA": "7 (5i+2f)"}
+    lines = [_header("E4  Required softmax bit-width per dataset (paper Section II)")]
+    lines.append(f"{'dataset':<8} {'range':>8} {'derived':>12} {'paper':>12}")
+    for result in results:
+        derived = f"{result.total_bits} ({result.integer_bits}i+{result.frac_bits}f)"
+        lines.append(
+            f"{result.dataset:<8} {result.observed_range:>8.2f} {derived:>12} "
+            f"{paper[result.dataset]:>12}"
+        )
+    return "\n".join(lines)
+
+
+def report_e5_table1() -> str:
+    """E5 — Table I area/power comparison of the softmax designs."""
+    baseline = CMOSSoftmaxUnit()
+    softermax = SoftermaxUnit()
+    star = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+    lines = [_header("E5  Table I: softmax engine area & power (BERT-base, CNEWS, L=128)")]
+    lines.append(f"{'design':<22} {'area (um^2)':>12} {'power (mW)':>12} {'area x':>8} {'power x':>8}")
+    rows = [
+        ("CMOS baseline", baseline.area_um2, baseline.power_w),
+        ("Softermax", softermax.area_um2, softermax.power_w),
+        ("STAR (8-bit, ours)", star.area_um2(), star.power_w(128)),
+    ]
+    for name, area, power in rows:
+        lines.append(
+            f"{name:<22} {area:>12.0f} {power * 1e3:>12.3f} "
+            f"{area / baseline.area_um2:>8.3f} {power / baseline.power_w:>8.3f}"
+        )
+    lines.append("paper ratios: Softermax 0.33x / 0.12x, STAR 0.06x / 0.05x")
+    return "\n".join(lines)
+
+
+def report_e6_fig3() -> str:
+    """E6 — Fig. 3 computing-efficiency comparison."""
+    results = EfficiencyComparison(workload=BertWorkload(seq_len=128)).run()
+    lines = [_header("E6  Fig. 3: computing efficiency (BERT-base, L=128)")]
+    lines.append(results.table.format_table(reference="Titan RTX"))
+    lines.append("")
+    lines.append(f"STAR                    : {results.star_efficiency:.2f} GOPs/s/W (paper 612.66)")
+    lines.append(f"gain over GPU           : {results.gain_over_gpu:.2f}x (paper 30.63x)")
+    lines.append(f"gain over PipeLayer     : {results.gain_over_pipelayer:.2f}x (paper 4.32x)")
+    lines.append(f"gain over ReTransformer : {results.gain_over_retransformer:.2f}x (paper 1.31x)")
+    return "\n".join(lines)
+
+
+def report_e7_pipeline_ablation() -> str:
+    """E7 — vector- vs operand-grained pipeline ablation."""
+    rows = AblationSuite().pipeline_ablation((128, 256, 512))
+    lines = [_header("E7  Ablation: pipeline granularity (attention chain only)")]
+    lines.append(f"{'seq_len':>8} {'vector (us)':>12} {'operand (us)':>13} {'speedup':>9}")
+    for row in rows:
+        lines.append(
+            f"{row.seq_len:>8d} {row.vector_latency_s * 1e6:>12.2f} "
+            f"{row.operand_latency_s * 1e6:>13.2f} {row.speedup:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def report_e8_precision_ablation() -> str:
+    """E8 — softmax precision sweep ablation."""
+    rows = AblationSuite().precision_ablation(CNEWS_PROFILE, num_rows=32, seq_len=64)
+    lines = [_header("E8  Ablation: softmax engine precision sweep (CNEWS profile)")]
+    lines.append(f"{'format':>10} {'area (um^2)':>12} {'power (mW)':>12} {'mean KL':>12}")
+    for row in rows:
+        label = f"{row.integer_bits}i+{row.frac_bits}f"
+        lines.append(
+            f"{label:>10} {row.area_um2:>12.0f} {row.power_w * 1e3:>12.3f} {row.mean_kl:>12.5f}"
+        )
+    return "\n".join(lines)
+
+
+def report_e9_noise_ablation() -> str:
+    """E9 — RRAM non-ideality ablation."""
+    rows = AblationSuite().noise_ablation(CNEWS_PROFILE, CNEWS_FORMAT, num_rows=16, seq_len=64)
+    lines = [_header("E9  Ablation: RRAM non-idealities vs softmax fidelity (8-bit engine)")]
+    lines.append(f"{'corner':<12} {'prog sigma':>10} {'read sigma':>10} {'stuck':>7} {'mean KL':>10} {'max |err|':>10}")
+    for row in rows:
+        lines.append(
+            f"{row.label:<12} {row.programming_sigma:>10.3f} {row.read_noise_sigma:>10.3f} "
+            f"{row.stuck_fraction:>7.3f} {row.mean_kl:>10.5f} {row.max_abs_error:>10.5f}"
+        )
+    return "\n".join(lines)
+
+
+EXPERIMENTS: dict[str, Callable[[], str]] = {
+    "e1": report_e1_latency_breakdown,
+    "e2": report_e2_cam_sub,
+    "e3": report_e3_exponential,
+    "e4": report_e4_bitwidth,
+    "e5": report_e5_table1,
+    "e6": report_e6_fig3,
+    "e7": report_e7_pipeline_ablation,
+    "e8": report_e8_precision_ablation,
+    "e9": report_e9_noise_ablation,
+}
+
+
+def run_experiment(experiment_id: str) -> str:
+    """Regenerate one experiment's table/figure as text (id: ``e1`` … ``e9``)."""
+    key = experiment_id.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]()
+
+
+def run_all(experiment_ids: list[str] | None = None) -> str:
+    """Regenerate several experiments (all of them by default)."""
+    ids = experiment_ids if experiment_ids else sorted(EXPERIMENTS)
+    return "\n\n".join(run_experiment(experiment_id) for experiment_id in ids)

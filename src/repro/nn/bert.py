@@ -1,0 +1,189 @@
+"""BERT-base model definition and workload operation counting.
+
+The paper's efficiency experiments are all phrased in terms of the BERT-base
+encoder (12 layers, hidden 768, 12 heads, FFN 3072).  Two things are needed
+from it here:
+
+* a runnable forward pass (for the accuracy and score-distribution
+  experiments), built from :mod:`repro.nn.encoder`;
+* exact operation counts of each component as a function of sequence length
+  (for the latency-breakdown experiment E1 and the efficiency figure E6),
+  provided by :class:`BertWorkload` without instantiating any weights — so
+  the benchmark harness can sweep sequence lengths cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.encoder import TransformerEncoder
+from repro.nn.layers import Embedding
+
+__all__ = ["BertConfig", "BERT_BASE", "BertEncoderModel", "BertWorkload"]
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Topology of a BERT-style encoder."""
+
+    num_layers: int = 12
+    hidden: int = 768
+    num_heads: int = 12
+    intermediate: int = 3072
+    vocab_size: int = 30522
+    max_positions: int = 512
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {self.num_layers}")
+        if self.hidden < 1 or self.intermediate < 1:
+            raise ValueError("hidden and intermediate sizes must be positive")
+        if self.hidden % self.num_heads != 0:
+            raise ValueError(
+                f"hidden {self.hidden} must be divisible by num_heads {self.num_heads}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimensionality."""
+        return self.hidden // self.num_heads
+
+
+BERT_BASE = BertConfig()
+
+
+class BertEncoderModel:
+    """Runnable BERT encoder with deterministic random weights."""
+
+    def __init__(
+        self,
+        config: BertConfig = BERT_BASE,
+        seed: int = 0,
+        softmax_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        self.embedding = Embedding(
+            config.vocab_size, config.max_positions, config.hidden, rng=rng
+        )
+        self.encoder = TransformerEncoder(
+            config.num_layers,
+            config.hidden,
+            config.num_heads,
+            config.intermediate,
+            rng=rng,
+            softmax_fn=softmax_fn,
+        )
+
+    def __call__(self, token_ids: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Encode a ``(batch, seq_len)`` batch of token ids."""
+        hidden = self.embedding(token_ids)
+        return self.encoder(hidden, mask=mask)
+
+    def encode_hidden(self, hidden: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Encode pre-embedded hidden states (skips the embedding lookup)."""
+        return self.encoder(hidden, mask=mask)
+
+    def attention_scores(self) -> list[np.ndarray]:
+        """Attention scores captured during the most recent forward pass."""
+        return self.encoder.collect_attention_scores()
+
+
+@dataclass(frozen=True)
+class BertWorkload:
+    """Closed-form operation counts of BERT-base inference at a given length.
+
+    All counts are in primitive operations with a multiply-accumulate counted
+    as two operations, matching the GOPs convention of the paper's Fig. 3.
+    """
+
+    config: BertConfig = BERT_BASE
+    seq_len: int = 128
+    batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.seq_len < 1:
+            raise ValueError(f"seq_len must be >= 1, got {self.seq_len}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    # ------------------------------------------------------------------ #
+    # per-component counts (single layer)
+    # ------------------------------------------------------------------ #
+    def _tokens(self) -> int:
+        return self.batch_size * self.seq_len
+
+    def qkv_projection_ops_per_layer(self) -> int:
+        """Q/K/V/output projections: four ``hidden x hidden`` GEMMs."""
+        cfg = self.config
+        return 4 * 2 * self._tokens() * cfg.hidden * cfg.hidden
+
+    def attention_matmul_ops_per_layer(self) -> int:
+        """``QK^T`` and ``A V``: the sequence-length-quadratic GEMMs."""
+        cfg = self.config
+        per_head = 2 * 2 * self.batch_size * self.seq_len * self.seq_len * cfg.head_dim
+        return cfg.num_heads * per_head
+
+    def ffn_ops_per_layer(self) -> int:
+        """Position-wise feed-forward GEMMs."""
+        cfg = self.config
+        return 2 * 2 * self._tokens() * cfg.hidden * cfg.intermediate
+
+    def softmax_elements_per_layer(self) -> int:
+        """Attention matrix entries processed by softmax in one layer."""
+        return self.config.num_heads * self.batch_size * self.seq_len * self.seq_len
+
+    def softmax_ops_per_layer(self) -> int:
+        """Softmax primitive ops: max-compare, subtract, exp, add, divide (~5/elem)."""
+        return 5 * self.softmax_elements_per_layer()
+
+    # ------------------------------------------------------------------ #
+    # whole-model counts
+    # ------------------------------------------------------------------ #
+    def matmul_ops(self) -> int:
+        """All GEMM operations across the encoder stack."""
+        per_layer = (
+            self.qkv_projection_ops_per_layer()
+            + self.attention_matmul_ops_per_layer()
+            + self.ffn_ops_per_layer()
+        )
+        return self.config.num_layers * per_layer
+
+    def attention_only_matmul_ops(self) -> int:
+        """GEMMs inside the attention mechanism only (used by Fig. 3's scope)."""
+        per_layer = self.qkv_projection_ops_per_layer() + self.attention_matmul_ops_per_layer()
+        return self.config.num_layers * per_layer
+
+    def softmax_ops(self) -> int:
+        """Softmax operations across the encoder stack."""
+        return self.config.num_layers * self.softmax_ops_per_layer()
+
+    def softmax_elements(self) -> int:
+        """Softmax matrix elements across the encoder stack."""
+        return self.config.num_layers * self.softmax_elements_per_layer()
+
+    def softmax_vectors(self) -> int:
+        """Number of length-``seq_len`` softmax row vectors in the whole model."""
+        return (
+            self.config.num_layers
+            * self.config.num_heads
+            * self.batch_size
+            * self.seq_len
+        )
+
+    def total_ops(self) -> int:
+        """GEMM + softmax operations (the paper's GOPs accounting)."""
+        return self.matmul_ops() + self.softmax_ops()
+
+    def breakdown(self) -> dict[str, int]:
+        """Per-component totals used by the latency-breakdown experiment."""
+        layers = self.config.num_layers
+        return {
+            "qkv_projections": layers * self.qkv_projection_ops_per_layer(),
+            "attention_matmuls": layers * self.attention_matmul_ops_per_layer(),
+            "ffn": layers * self.ffn_ops_per_layer(),
+            "softmax": self.softmax_ops(),
+        }

@@ -1,0 +1,93 @@
+"""Transformer encoder layer and stack (BERT-base topology)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import FeedForward, LayerNorm
+
+__all__ = ["TransformerEncoderLayer", "TransformerEncoder"]
+
+
+class TransformerEncoderLayer:
+    """One post-norm BERT encoder layer: MHA + Add&Norm + FFN + Add&Norm."""
+
+    def __init__(
+        self,
+        hidden: int,
+        num_heads: int,
+        intermediate: int,
+        rng: np.random.Generator | None = None,
+        softmax_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> None:
+        generator = rng if rng is not None else np.random.default_rng(0)
+        self.attention = MultiHeadAttention(
+            hidden, num_heads, rng=generator, softmax_fn=softmax_fn
+        )
+        self.attention_norm = LayerNorm(hidden)
+        self.feed_forward = FeedForward(hidden, intermediate, rng=generator)
+        self.output_norm = LayerNorm(hidden)
+
+    def __call__(self, x: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Forward pass with residual connections."""
+        attended = self.attention(x, mask=mask)
+        x = self.attention_norm(x + attended)
+        transformed = self.feed_forward(x)
+        return self.output_norm(x + transformed)
+
+    def flops(self, seq_len: int) -> dict[str, int]:
+        """Per-operation FLOP counts for one sequence through this layer."""
+        return {
+            "qkv_projections": self.attention.projection_flops(seq_len),
+            "attention_scores": self.attention.score_flops(seq_len),
+            "softmax": self.attention.softmax_flops(seq_len),
+            "feed_forward": self.feed_forward.flops(seq_len),
+        }
+
+
+class TransformerEncoder:
+    """A stack of identical encoder layers sharing one softmax implementation."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        hidden: int,
+        num_heads: int,
+        intermediate: int,
+        rng: np.random.Generator | None = None,
+        softmax_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> None:
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        generator = rng if rng is not None else np.random.default_rng(0)
+        self.layers = [
+            TransformerEncoderLayer(
+                hidden, num_heads, intermediate, rng=generator, softmax_fn=softmax_fn
+            )
+            for _ in range(num_layers)
+        ]
+
+    def __call__(self, x: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Forward pass through all layers."""
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return x
+
+    def flops(self, seq_len: int) -> dict[str, int]:
+        """Aggregated FLOP counts over all layers for one sequence."""
+        totals: dict[str, int] = {}
+        for layer in self.layers:
+            for key, value in layer.flops(seq_len).items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def collect_attention_scores(self) -> list[np.ndarray]:
+        """Raw attention scores captured by each layer during the last forward."""
+        scores = []
+        for layer in self.layers:
+            if layer.attention.last_scores is not None:
+                scores.append(layer.attention.last_scores)
+        return scores

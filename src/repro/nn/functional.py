@@ -1,0 +1,103 @@
+"""Reference NumPy implementations of the neural-network primitives.
+
+These are the "golden" floating-point functions the hardware models are
+checked against.  Everything operates on plain ``numpy.ndarray`` values and
+follows the shapes used by BERT-style encoders: activations are
+``(..., seq_len, hidden)`` and attention scores are
+``(..., num_heads, seq_len, seq_len)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "log_softmax", "gelu", "relu", "layer_norm", "scaled_dot_product_attention"]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``.
+
+    Subtracts the per-slice maximum before exponentiation — precisely the
+    ``x_i - x_max`` step that STAR maps onto its CAM/SUB crossbar.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation used by BERT)."""
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
+
+def layer_norm(
+    x: np.ndarray,
+    gamma: np.ndarray | None = None,
+    beta: np.ndarray | None = None,
+    epsilon: float = 1e-12,
+) -> np.ndarray:
+    """Layer normalisation over the last dimension (BERT convention)."""
+    x = np.asarray(x, dtype=np.float64)
+    mean = np.mean(x, axis=-1, keepdims=True)
+    var = np.var(x, axis=-1, keepdims=True)
+    normalized = (x - mean) / np.sqrt(var + epsilon)
+    if gamma is not None:
+        normalized = normalized * np.asarray(gamma, dtype=np.float64)
+    if beta is not None:
+        normalized = normalized + np.asarray(beta, dtype=np.float64)
+    return normalized
+
+
+def scaled_dot_product_attention(
+    query: np.ndarray,
+    key: np.ndarray,
+    value: np.ndarray,
+    mask: np.ndarray | None = None,
+    softmax_fn=softmax,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Attention(Q, K, V) with a pluggable softmax implementation.
+
+    Parameters
+    ----------
+    query, key, value:
+        Arrays of shape ``(..., seq_len, head_dim)``.
+    mask:
+        Optional additive mask broadcastable to the score shape
+        ``(..., seq_len, seq_len)``; masked positions should carry large
+        negative values.
+    softmax_fn:
+        Callable applied to the scaled scores along the last axis.  Passing
+        a hardware softmax model here is how the accuracy experiments swap
+        the exact softmax for STAR's fixed-point engine.
+
+    Returns
+    -------
+    (output, attention_weights)
+    """
+    query = np.asarray(query, dtype=np.float64)
+    key = np.asarray(key, dtype=np.float64)
+    value = np.asarray(value, dtype=np.float64)
+    head_dim = query.shape[-1]
+    if key.shape[-1] != head_dim:
+        raise ValueError(
+            f"query head_dim {head_dim} does not match key head_dim {key.shape[-1]}"
+        )
+    scores = query @ np.swapaxes(key, -1, -2) / np.sqrt(head_dim)
+    if mask is not None:
+        scores = scores + np.asarray(mask, dtype=np.float64)
+    weights = softmax_fn(scores)
+    return weights @ value, weights

@@ -1,0 +1,75 @@
+"""Tensor quantisation helpers for the quantised-attention experiments.
+
+STAR's MatMul engine follows ReTransformer: weights and activations are
+quantised to 8 bits before being mapped to crossbar conductances, and the
+5-bit column ADC adds further output quantisation.  These helpers provide
+the per-tensor symmetric quantisation used when running BERT-base through the
+hardware-aware inference path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QuantizationSpec", "quantize_tensor", "dequantize_tensor", "fake_quantize"]
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """Per-tensor symmetric quantisation to ``bits`` bits.
+
+    Attributes
+    ----------
+    bits:
+        Total bit-width including the sign bit.
+    per_channel_axis:
+        When not ``None``, scales are computed independently along this axis
+        (the usual choice for weight matrices is the output-channel axis).
+    """
+
+    bits: int = 8
+    per_channel_axis: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.bits <= 32:
+            raise ValueError(f"bits must be in [2, 32], got {self.bits}")
+
+    @property
+    def q_max(self) -> int:
+        """Largest positive integer code."""
+        return (1 << (self.bits - 1)) - 1
+
+    def scales_for(self, tensor: np.ndarray) -> np.ndarray:
+        """Quantisation scale(s) mapping the tensor range onto the code range."""
+        arr = np.asarray(tensor, dtype=np.float64)
+        if self.per_channel_axis is None:
+            max_abs = float(np.max(np.abs(arr)))
+            max_abs = max_abs if max_abs > 0 else 1.0
+            return np.asarray(max_abs / self.q_max)
+        reduce_axes = tuple(
+            axis for axis in range(arr.ndim) if axis != self.per_channel_axis % arr.ndim
+        )
+        max_abs = np.max(np.abs(arr), axis=reduce_axes, keepdims=True)
+        max_abs = np.where(max_abs > 0, max_abs, 1.0)
+        return max_abs / self.q_max
+
+
+def quantize_tensor(tensor: np.ndarray, spec: QuantizationSpec) -> tuple[np.ndarray, np.ndarray]:
+    """Quantise to integer codes; returns ``(codes, scales)``."""
+    arr = np.asarray(tensor, dtype=np.float64)
+    scales = spec.scales_for(arr)
+    codes = np.clip(np.rint(arr / scales), -spec.q_max, spec.q_max).astype(np.int64)
+    return codes, scales
+
+
+def dequantize_tensor(codes: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """Map integer codes back to real values."""
+    return np.asarray(codes, dtype=np.float64) * scales
+
+
+def fake_quantize(tensor: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Quantise and immediately dequantise (simulated-quantisation inference)."""
+    codes, scales = quantize_tensor(tensor, spec)
+    return dequantize_tensor(codes, scales)

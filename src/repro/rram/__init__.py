@@ -1,0 +1,44 @@
+"""RRAM device, crossbar, CAM and LUT behavioural models (the PIM substrate)."""
+
+from repro.rram.cam import CAMConfig, CAMCrossbar
+from repro.rram.converters import ADC, DAC, SampleAndHold, SenseAmplifier
+from repro.rram.crossbar import AccessStats, AnalogCrossbar, CrossbarConfig
+from repro.rram.device import RRAMDevice, RRAMDeviceConfig
+from repro.rram.lut import LUTConfig, LUTCrossbar, exponential_lut_entries
+from repro.rram.noise import (
+    IDEAL_NOISE,
+    TYPICAL_NOISE,
+    WORST_CASE_NOISE,
+    NoiseConfig,
+    NoiseModel,
+)
+from repro.rram.programming import (
+    ProgrammingConfig,
+    ProgrammingResult,
+    WriteVerifyProgrammer,
+)
+
+__all__ = [
+    "RRAMDevice",
+    "RRAMDeviceConfig",
+    "NoiseConfig",
+    "NoiseModel",
+    "IDEAL_NOISE",
+    "TYPICAL_NOISE",
+    "WORST_CASE_NOISE",
+    "ADC",
+    "DAC",
+    "SenseAmplifier",
+    "SampleAndHold",
+    "AnalogCrossbar",
+    "CrossbarConfig",
+    "AccessStats",
+    "CAMCrossbar",
+    "CAMConfig",
+    "LUTCrossbar",
+    "LUTConfig",
+    "exponential_lut_entries",
+    "WriteVerifyProgrammer",
+    "ProgrammingConfig",
+    "ProgrammingResult",
+]

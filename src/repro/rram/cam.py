@@ -1,0 +1,211 @@
+"""RRAM content-addressable memory (CAM) crossbar.
+
+A CAM crossbar stores one binary codeword per row using complementary cell
+pairs (two RRAM cells per bit, as in a resistive TCAM).  A search applies the
+query bits and their complements to the search lines; only the row whose
+stored word matches the query keeps its matchline current below the sense
+threshold, so the matchline sense amplifiers output a one-hot match vector.
+
+STAR uses CAM crossbars in two places:
+
+* the **CAM/SUB crossbar** (512 x 18) that locates ``x_max`` among the input
+  scores before subtraction (Fig. 1 of the paper);
+* the **CAM crossbar of the exponential unit** (256 x 18) that maps each
+  ``x_i - x_max`` magnitude to a row index whose LUT entry is the
+  pre-computed exponential (Fig. 2).
+
+Both store *every representable fixed-point level* rather than arbitrary
+data, which is why exact-match search is sufficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rram.converters import SenseAmplifier
+from repro.rram.device import RRAMDeviceConfig
+from repro.utils.validation import require_in_range, require_positive
+
+__all__ = ["CAMConfig", "CAMCrossbar"]
+
+
+@dataclass(frozen=True)
+class CAMConfig:
+    """Geometry and behaviour of a CAM crossbar.
+
+    Attributes
+    ----------
+    rows:
+        Number of stored codewords (one per wordline / matchline).
+    bits:
+        Width of each codeword; each bit occupies two complementary cells,
+        so the physical column count is ``2 * bits``.
+    device:
+        RRAM cell parameters (used for energy accounting).
+    search_error_rate:
+        Probability that a search of one row flips its match decision,
+        modelling sense-margin failures under device noise.  0 disables it.
+    matchline_capacitance_f:
+        Capacitance of one matchline (wire plus the drains of its cells);
+        every search precharges all matchlines, which dominates CAM search
+        energy.
+    seed:
+        Seed for the error-injection random stream.
+    """
+
+    rows: int = 256
+    bits: int = 9
+    device: RRAMDeviceConfig = field(default_factory=RRAMDeviceConfig)
+    search_error_rate: float = 0.0
+    matchline_capacitance_f: float = 50.0e-15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1:
+            raise ValueError(f"rows must be >= 1, got {self.rows}")
+        if not 1 <= self.bits <= 32:
+            raise ValueError(f"bits must be in [1, 32], got {self.bits}")
+        require_in_range(self.search_error_rate, 0.0, 1.0, "search_error_rate")
+        require_positive(self.matchline_capacitance_f, "matchline_capacitance_f")
+
+    @property
+    def physical_cols(self) -> int:
+        """Physical bitlines: two complementary cells per stored bit."""
+        return 2 * self.bits
+
+    @property
+    def num_cells(self) -> int:
+        """Total RRAM cells in the CAM array."""
+        return self.rows * self.physical_cols
+
+    @property
+    def capacity(self) -> int:
+        """Number of distinct codewords the width can represent."""
+        return 1 << self.bits
+
+
+class CAMCrossbar:
+    """Exact-match CAM built from complementary RRAM cell pairs."""
+
+    def __init__(self, config: CAMConfig | None = None) -> None:
+        self.config = config or CAMConfig()
+        self.sense_amp = SenseAmplifier()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._stored_codes: np.ndarray | None = None
+        self._stored_bits: np.ndarray | None = None
+        self.search_count = 0
+
+    # ------------------------------------------------------------------ #
+    # programming
+    # ------------------------------------------------------------------ #
+    @property
+    def is_programmed(self) -> bool:
+        """Whether codewords have been written."""
+        return self._stored_codes is not None
+
+    @property
+    def stored_codes(self) -> np.ndarray:
+        """The integer codewords stored per row (top to bottom)."""
+        if self._stored_codes is None:
+            raise RuntimeError("CAM has not been programmed yet")
+        return self._stored_codes.copy()
+
+    def program_codes(self, codes: np.ndarray) -> None:
+        """Store one integer codeword per row.
+
+        Parameters
+        ----------
+        codes:
+            Array of length ``<= rows`` holding non-negative integers below
+            ``2 ** bits``.  Rows beyond ``len(codes)`` are left unused and
+            never match.
+        """
+        arr = np.asarray(codes, dtype=np.int64).ravel()
+        cfg = self.config
+        if arr.size > cfg.rows:
+            raise ValueError(f"{arr.size} codewords exceed the {cfg.rows} CAM rows")
+        if arr.size == 0:
+            raise ValueError("cannot program an empty codeword list")
+        if np.any(arr < 0) or np.any(arr >= cfg.capacity):
+            raise ValueError(f"codewords must lie in [0, {cfg.capacity - 1}]")
+        self._stored_codes = arr.copy()
+        # expand to a bits matrix once so searches are cheap
+        bit_positions = np.arange(cfg.bits, dtype=np.int64)
+        self._stored_bits = ((arr[:, None] >> bit_positions[None, :]) & 1).astype(np.int8)
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+    def search(self, query: int) -> np.ndarray:
+        """Search one query codeword; returns the 0/1 match vector per row."""
+        if not self.is_programmed:
+            raise RuntimeError("CAM must be programmed before searching")
+        cfg = self.config
+        if not 0 <= query < cfg.capacity:
+            raise ValueError(f"query {query} outside [0, {cfg.capacity - 1}]")
+        matches = (self._stored_codes == query).astype(np.int64)
+        matches = self._inject_errors(matches)
+        self.search_count += 1
+        return matches
+
+    def search_many(self, queries: np.ndarray) -> np.ndarray:
+        """Search a batch of queries; returns a ``len(queries) x rows`` matrix.
+
+        All wordlines are searched in parallel for each query, as in Fig. 1
+        of the paper; queries themselves are applied sequentially.
+        """
+        if not self.is_programmed:
+            raise RuntimeError("CAM must be programmed before searching")
+        arr = np.asarray(queries, dtype=np.int64).ravel()
+        cfg = self.config
+        if np.any(arr < 0) or np.any(arr >= cfg.capacity):
+            raise ValueError(f"queries must lie in [0, {cfg.capacity - 1}]")
+        matches = (arr[:, None] == self._stored_codes[None, :]).astype(np.int64)
+        matches = self._inject_errors(matches)
+        self.search_count += arr.size
+        return matches
+
+    def match_index(self, query: int) -> int:
+        """Row index storing ``query``; -1 when no row matches."""
+        matches = self.search(query)
+        hits = np.flatnonzero(matches)
+        return int(hits[0]) if hits.size else -1
+
+    def _inject_errors(self, matches: np.ndarray) -> np.ndarray:
+        rate = self.config.search_error_rate
+        if rate <= 0.0:
+            return matches
+        flips = self._rng.random(size=matches.shape) < rate
+        return np.where(flips, 1 - matches, matches)
+
+    # ------------------------------------------------------------------ #
+    # per-access costs
+    # ------------------------------------------------------------------ #
+    def search_latency_s(self) -> float:
+        """Latency of one parallel search: precharge + discharge + sense."""
+        precharge = 0.5e-9
+        discharge = self.config.device.read_pulse_s
+        return precharge + discharge + self.sense_amp.latency_s
+
+    def search_energy_j(self) -> float:
+        """Energy of one parallel search over all rows.
+
+        Three contributions: precharging every matchline, the discharge
+        current through (on average half) the cells while the search lines
+        are driven, and the matchline sense amplifiers.
+        """
+        cfg = self.config
+        v = cfg.device.read_voltage_v
+        precharge_energy = cfg.rows * cfg.matchline_capacitance_f * v * v
+        # on average half the cells conduct during a search
+        g_mid = 0.5 * (1.0 / cfg.device.r_on_ohm + 1.0 / cfg.device.r_off_ohm)
+        cell_energy = 0.5 * cfg.num_cells * v * v * g_mid * cfg.device.read_pulse_s
+        sense_energy = cfg.rows * self.sense_amp.energy_per_sense_j
+        return precharge_energy + cell_energy + sense_energy
+
+    def area_um2(self, cell_area_um2: float = 0.2) -> float:
+        """Array area: cells plus one sense amplifier per matchline."""
+        require_positive(cell_area_um2, "cell_area_um2")
+        return self.config.num_cells * cell_area_um2 + self.config.rows * self.sense_amp.area_um2

@@ -1,0 +1,389 @@
+"""Analog RRAM crossbar performing in-situ vector-matrix multiplication (VMM).
+
+This is the workhorse substrate of every RRAM PIM accelerator: a matrix is
+programmed into cell conductances, an input vector is applied as wordline
+voltages and, by Kirchhoff's law, each bitline current is the dot product of
+the input vector with the corresponding matrix column.
+
+The model is behavioural but captures the effects that matter at
+architecture level:
+
+* conductance quantisation to the device's programmable levels;
+* bit-serial streaming of multi-bit inputs through low-resolution DACs
+  (the ISAAC / ReTransformer operating mode), with shift-and-add
+  accumulation of the per-cycle ADC outputs;
+* differential (positive/negative column pair) encoding of signed weights;
+* programming variation, read noise and stuck-at faults via
+  :class:`~repro.rram.noise.NoiseModel`;
+* ADC quantisation of bitline currents, with the full-scale range set by the
+  worst-case column current;
+* per-access energy and latency accounting that the architecture-level cost
+  model aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rram.converters import ADC, DAC, SampleAndHold
+from repro.rram.device import RRAMDevice, RRAMDeviceConfig
+from repro.rram.noise import IDEAL_NOISE, NoiseConfig, NoiseModel
+from repro.utils.validation import as_1d_float_array, as_2d_float_array
+
+__all__ = ["CrossbarConfig", "AccessStats", "AnalogCrossbar"]
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Dimensions and peripheral configuration of one crossbar array.
+
+    Attributes
+    ----------
+    rows / cols:
+        Array dimensions (wordlines x bitlines).  STAR uses 128x128 for the
+        MatMul engine and 256x18 / 512x18 arrays inside the Softmax engine.
+    device:
+        RRAM cell parameters.
+    noise:
+        Non-ideality configuration.
+    adc_bits:
+        Resolution of the column ADCs (5 for the MatMul engine, following
+        ReTransformer).
+    dac_bits:
+        Resolution of the wordline DACs (1 = bit-serial input streaming).
+    input_bits:
+        Precision at which input vectors are quantised before being streamed
+        through the DACs, ``ceil(input_bits / dac_bits)`` cycles per VMM.
+    differential:
+        Encode signed weights on positive/negative column pairs.
+    adc_share:
+        How many columns share one ADC through a sample-and-hold mux
+        (8 is the ISAAC/ReTransformer assumption).
+    wire_resistance_ohm:
+        Interconnect resistance of one wordline/bitline segment between
+        adjacent cells.  0 (default) disables the IR-drop model; a typical
+        value for scaled metal is 1-5 ohm per segment.  Cells far from the
+        drivers see a lower effective voltage, which the first-order model
+        captures as a per-position attenuation of the cell conductance.
+    """
+
+    rows: int = 128
+    cols: int = 128
+    device: RRAMDeviceConfig = field(default_factory=RRAMDeviceConfig)
+    noise: NoiseConfig = field(default_factory=lambda: IDEAL_NOISE)
+    adc_bits: int = 5
+    dac_bits: int = 1
+    input_bits: int = 8
+    differential: bool = False
+    adc_share: int = 8
+    wire_resistance_ohm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(
+                f"crossbar dimensions must be positive, got {self.rows}x{self.cols}"
+            )
+        if not 1 <= self.dac_bits <= 16:
+            raise ValueError(f"dac_bits must be in [1, 16], got {self.dac_bits}")
+        if not 1 <= self.input_bits <= 32:
+            raise ValueError(f"input_bits must be in [1, 32], got {self.input_bits}")
+        if self.adc_share < 1:
+            raise ValueError(f"adc_share must be >= 1, got {self.adc_share}")
+        if self.wire_resistance_ohm < 0:
+            raise ValueError(
+                f"wire_resistance_ohm must be >= 0, got {self.wire_resistance_ohm}"
+            )
+
+    @property
+    def physical_cols(self) -> int:
+        """Number of physical bitlines after differential expansion."""
+        return self.cols * 2 if self.differential else self.cols
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of RRAM cells in the array."""
+        return self.rows * self.physical_cols
+
+    @property
+    def num_adcs(self) -> int:
+        """Number of ADC instances (columns / adc_share, at least one)."""
+        return max(1, self.physical_cols // self.adc_share)
+
+    @property
+    def input_cycles(self) -> int:
+        """Number of bit-serial cycles needed to stream one input vector."""
+        return -(-self.input_bits // self.dac_bits)  # ceil division
+
+
+@dataclass
+class AccessStats:
+    """Cumulative access counters used for energy/latency accounting."""
+
+    vmm_ops: int = 0
+    array_activations: int = 0
+    cell_reads: int = 0
+    adc_conversions: int = 0
+    dac_conversions: int = 0
+    programming_pulses: int = 0
+
+    def merge(self, other: "AccessStats") -> None:
+        """Accumulate another counter set into this one."""
+        self.vmm_ops += other.vmm_ops
+        self.array_activations += other.array_activations
+        self.cell_reads += other.cell_reads
+        self.adc_conversions += other.adc_conversions
+        self.dac_conversions += other.dac_conversions
+        self.programming_pulses += other.programming_pulses
+
+
+class AnalogCrossbar:
+    """A programmable RRAM crossbar with analog VMM readout."""
+
+    def __init__(self, config: CrossbarConfig | None = None) -> None:
+        self.config = config or CrossbarConfig()
+        self.device = RRAMDevice(self.config.device)
+        self.noise = NoiseModel(self.config.noise)
+        self.adc = ADC(bits=self.config.adc_bits)
+        self.dac = DAC(bits=self.config.dac_bits)
+        self.sample_hold = SampleAndHold()
+        self.stats = AccessStats()
+        self._weights: np.ndarray | None = None
+        self._conductance_pos: np.ndarray | None = None
+        self._conductance_neg: np.ndarray | None = None
+        self._weight_scale: float = 1.0
+        self._ir_drop_factors = self._build_ir_drop_factors()
+
+    def _build_ir_drop_factors(self) -> np.ndarray | None:
+        """Per-cell attenuation from wordline/bitline IR drop (first order).
+
+        A cell at row ``r`` and column ``c`` sees its read voltage divided
+        across the wire segments between it and the drivers/sense node:
+        ``factor = 1 / (1 + g_cell_max * r_wire * (distance_to_driver +
+        distance_to_sense))`` — the standard first-order approximation used
+        by behavioural PIM simulators.  Returns ``None`` when disabled.
+        """
+        r_wire = self.config.wire_resistance_ohm
+        if r_wire <= 0.0:
+            return None
+        g_max = self.device.config.g_max_s
+        rows = np.arange(self.config.rows)[:, None]
+        cols = np.arange(self.config.cols)[None, :]
+        # wordline drivers sit at column 0, bitline sense amplifiers at row 0
+        distance = cols + (self.config.rows - 1 - rows)
+        return 1.0 / (1.0 + g_max * r_wire * distance)
+
+    # ------------------------------------------------------------------ #
+    # programming
+    # ------------------------------------------------------------------ #
+    @property
+    def is_programmed(self) -> bool:
+        """Whether a weight matrix has been written into the array."""
+        return self._conductance_pos is not None
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The logical weight matrix most recently programmed."""
+        if self._weights is None:
+            raise RuntimeError("crossbar has not been programmed yet")
+        return self._weights.copy()
+
+    @property
+    def weight_scale(self) -> float:
+        """Scale factor mapping normalised weights back to logical values."""
+        return self._weight_scale
+
+    def program(self, weights: np.ndarray) -> None:
+        """Write a logical ``rows x cols`` weight matrix into the array.
+
+        Weights are linearly mapped onto the conductance window.  With
+        ``differential=True`` negative weights go to the negative column of
+        each pair; otherwise weights must be non-negative.
+        """
+        matrix = as_2d_float_array(weights, "weights")
+        cfg = self.config
+        if matrix.shape != (cfg.rows, cfg.cols):
+            raise ValueError(
+                f"weight matrix shape {matrix.shape} does not match crossbar "
+                f"{cfg.rows}x{cfg.cols}"
+            )
+        if not cfg.differential and np.any(matrix < 0):
+            raise ValueError(
+                "negative weights require a differential crossbar (config.differential=True)"
+            )
+
+        max_abs = float(np.max(np.abs(matrix)))
+        self._weight_scale = max_abs if max_abs > 0 else 1.0
+        normalized = matrix / self._weight_scale  # in [-1, 1]
+
+        g_min = self.device.config.g_min_s
+        g_max = self.device.config.g_max_s
+        span = g_max - g_min
+
+        pos = np.clip(normalized, 0.0, 1.0)
+        neg = np.clip(-normalized, 0.0, 1.0)
+
+        target_pos = g_min + pos * span
+        target_neg = g_min + neg * span
+
+        # quantise to programmable levels, then apply programming variation
+        target_pos = self.device.level_to_conductance(
+            self.device.conductance_to_level(target_pos)
+        )
+        target_neg = self.device.level_to_conductance(
+            self.device.conductance_to_level(target_neg)
+        )
+        self._conductance_pos = self.noise.apply_programming(target_pos, g_min, g_max)
+        self._conductance_neg = (
+            self.noise.apply_programming(target_neg, g_min, g_max)
+            if cfg.differential
+            else None
+        )
+        self._weights = matrix.copy()
+        self.stats.programming_pulses += int(matrix.size) * (2 if cfg.differential else 1)
+
+    # ------------------------------------------------------------------ #
+    # compute
+    # ------------------------------------------------------------------ #
+    def matvec(self, inputs: np.ndarray, quantize_output: bool = True) -> np.ndarray:
+        """In-situ VMM: returns an estimate of ``inputs @ W``.
+
+        The input vector is quantised to ``input_bits`` and streamed through
+        the DACs in ``input_cycles`` bit-serial slices; per-cycle bitline
+        currents pass through the column ADCs and are accumulated with the
+        appropriate binary weight — exactly the shift-and-add dataflow of
+        ISAAC-style PIM tiles.
+
+        Parameters
+        ----------
+        inputs:
+            Length-``rows`` non-negative vector in logical units.
+        quantize_output:
+            When ``True`` (default) the per-cycle currents pass through the
+            ADCs, adding quantisation error exactly as the hardware would.
+            ``False`` gives the noiseless analog result (useful to isolate
+            error sources in tests).
+        """
+        if not self.is_programmed:
+            raise RuntimeError("crossbar must be programmed before matvec")
+        vector = as_1d_float_array(inputs, "inputs")
+        cfg = self.config
+        if vector.shape[0] != cfg.rows:
+            raise ValueError(
+                f"input length {vector.shape[0]} does not match crossbar rows {cfg.rows}"
+            )
+        if np.any(vector < 0):
+            raise ValueError("wordline inputs must be non-negative voltages/counts")
+
+        v_read = self.device.config.read_voltage_v
+        g_min = self.device.config.g_min_s
+        g_max = self.device.config.g_max_s
+        span = g_max - g_min
+
+        in_max = float(np.max(vector))
+        in_scale = in_max if in_max > 0 else 1.0
+        max_input_code = (1 << cfg.input_bits) - 1
+        input_codes = np.rint(vector / in_scale * max_input_code).astype(np.int64)
+
+        dac_levels = self.dac.num_levels
+        dac_max = dac_levels - 1
+        full_scale = cfg.rows * v_read * span
+
+        accumulated = np.zeros(cfg.cols, dtype=np.float64)
+        remaining = input_codes.copy()
+        cycle_weight = 1
+        for _ in range(cfg.input_cycles):
+            slice_codes = remaining % dac_levels
+            remaining //= dac_levels
+            voltages = self.dac.drive(slice_codes, v_read)
+
+            g_pos = self.noise.apply_read(self._conductance_pos)
+            if self._ir_drop_factors is not None:
+                g_pos = g_pos * self._ir_drop_factors
+            currents = voltages @ g_pos
+            if cfg.differential:
+                g_neg = self.noise.apply_read(self._conductance_neg)
+                if self._ir_drop_factors is not None:
+                    g_neg = g_neg * self._ir_drop_factors
+                currents = currents - voltages @ g_neg
+            else:
+                currents = currents - float(np.sum(voltages)) * g_min
+            currents = self.noise.perturb_current(currents)
+
+            if quantize_output:
+                if cfg.differential:
+                    signs = np.sign(currents)
+                    currents = signs * self.adc.convert(np.abs(currents), full_scale)
+                else:
+                    currents = self.adc.convert(np.clip(currents, 0.0, None), full_scale)
+
+            accumulated += currents * cycle_weight
+            cycle_weight *= dac_levels
+            self._record_cycle_access()
+
+        self.stats.vmm_ops += 1
+
+        # Convert accumulated currents back to logical units.
+        #   per-cycle current = sum_r (code_r / dac_max * v_read) * (w_rc / w_scale) * span
+        #   shift-and-add over cycles reconstructs code_r = x_r / in_scale * max_input_code
+        # hence logical = accumulated * dac_max * in_scale * w_scale
+        #                 / (v_read * span * max_input_code)
+        logical = (
+            accumulated
+            * dac_max
+            * in_scale
+            * self._weight_scale
+            / (v_read * span * max_input_code)
+        )
+        return logical
+
+    def ideal_matvec(self, inputs: np.ndarray) -> np.ndarray:
+        """The mathematically exact ``inputs @ W`` for comparison in tests."""
+        vector = as_1d_float_array(inputs, "inputs")
+        return vector @ self.weights
+
+    def _record_cycle_access(self) -> None:
+        cfg = self.config
+        self.stats.array_activations += 1
+        self.stats.cell_reads += cfg.num_cells
+        self.stats.adc_conversions += cfg.physical_cols
+        self.stats.dac_conversions += cfg.rows
+
+    # ------------------------------------------------------------------ #
+    # per-access costs (aggregated by repro.arch)
+    # ------------------------------------------------------------------ #
+    def cycle_latency_s(self) -> float:
+        """Latency of one bit-serial cycle: DAC drive + settle + muxed ADC."""
+        cfg = self.config
+        array_settle = self.device.read_latency_s()
+        adc_time = self.adc.latency_s * cfg.adc_share  # columns muxed onto shared ADCs
+        return self.dac.latency_s + array_settle + self.sample_hold.latency_s + adc_time
+
+    def vmm_latency_s(self) -> float:
+        """Latency of one full VMM (all bit-serial input cycles)."""
+        return self.cycle_latency_s() * self.config.input_cycles
+
+    def cycle_energy_j(self) -> float:
+        """Energy of one bit-serial cycle (array + DACs + ADCs + S&H)."""
+        cfg = self.config
+        g_mid = 0.5 * (self.device.config.g_min_s + self.device.config.g_max_s)
+        array_energy = float(
+            np.sum(self.device.read_energy_j(np.full(cfg.num_cells, g_mid)))
+        )
+        dac_energy = cfg.rows * self.dac.energy_per_conversion_j
+        adc_energy = cfg.physical_cols * self.adc.energy_per_conversion_j
+        sh_energy = cfg.physical_cols * self.sample_hold.energy_per_sample_j
+        return array_energy + dac_energy + adc_energy + sh_energy
+
+    def vmm_energy_j(self) -> float:
+        """Energy of one full VMM (all bit-serial input cycles)."""
+        return self.cycle_energy_j() * self.config.input_cycles
+
+    def programming_latency_s(self) -> float:
+        """Latency of programming the full array (row-parallel writes)."""
+        return self.device.write_latency_s() * self.config.rows
+
+    def programming_energy_j(self) -> float:
+        """Energy of programming the full array once."""
+        return self.device.write_energy_j() * self.config.num_cells

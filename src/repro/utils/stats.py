@@ -1,0 +1,133 @@
+"""Small statistics helpers shared by the analysis and benchmark code."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "RunningStats",
+    "summarize",
+    "percentile_range",
+    "geometric_mean",
+    "relative_error",
+    "kl_divergence",
+]
+
+
+@dataclass
+class RunningStats:
+    """Streaming mean / variance / extrema (Welford's algorithm).
+
+    Useful when analysing attention-score ranges over many batches without
+    materialising every score, which is what the bit-width analysis of
+    Section II does across whole datasets.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def update(self, values: np.ndarray | float) -> None:
+        """Fold one value or an array of values into the running statistics."""
+        arr = np.atleast_1d(np.asarray(values, dtype=np.float64)).ravel()
+        for value in arr:
+            self.count += 1
+            delta = value - self.mean
+            self.mean += delta / self.count
+            self._m2 += delta * (value - self.mean)
+            if value < self.minimum:
+                self.minimum = float(value)
+            if value > self.maximum:
+                self.maximum = float(value)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the values seen so far."""
+        if self.count == 0:
+            return float("nan")
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the values seen so far."""
+        return float(np.sqrt(self.variance))
+
+    @property
+    def range(self) -> float:
+        """``max - min`` of the values seen so far."""
+        if self.count == 0:
+            return float("nan")
+        return self.maximum - self.minimum
+
+
+def summarize(values: Iterable[float]) -> dict[str, float]:
+    """Return a dictionary of common summary statistics for ``values``."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sequence")
+    return {
+        "count": float(arr.size),
+        "mean": float(np.mean(arr)),
+        "std": float(np.std(arr)),
+        "min": float(np.min(arr)),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(np.max(arr)),
+    }
+
+
+def percentile_range(values: np.ndarray, coverage: float = 0.999) -> tuple[float, float]:
+    """Symmetric percentile range covering ``coverage`` of the distribution.
+
+    The bit-width analysis uses this to discard extreme outliers before
+    sizing the integer part of the fixed-point format.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot compute percentile range of an empty array")
+    tail = (1.0 - coverage) / 2.0 * 100.0
+    low = float(np.percentile(arr, tail))
+    high = float(np.percentile(arr, 100.0 - tail))
+    return low, high
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; standard way to aggregate speedup ratios."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot compute geometric mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """``|measured - reference| / |reference|`` with a zero-reference guard."""
+    if reference == 0:
+        return float("inf") if measured != 0 else 0.0
+    return abs(measured - reference) / abs(reference)
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray, epsilon: float = 1e-12) -> float:
+    """KL divergence ``D(p || q)`` between two probability vectors.
+
+    Used to quantify how far the fixed-point RRAM softmax output drifts from
+    the exact floating-point softmax distribution.
+    """
+    p = np.asarray(p, dtype=np.float64).ravel()
+    q = np.asarray(q, dtype=np.float64).ravel()
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    p = np.clip(p, epsilon, None)
+    q = np.clip(q, epsilon, None)
+    p = p / p.sum()
+    q = q / q.sum()
+    return float(np.sum(p * np.log(p / q)))

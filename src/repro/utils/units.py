@@ -1,0 +1,88 @@
+"""Physical-unit helpers and constants.
+
+All internal cost models store values in SI base units (seconds, watts,
+joules, square metres expressed as mm^2 for convenience).  These helpers make
+the conversions explicit at the boundaries of the package, where the
+literature typically quotes ns / pJ / mW / um^2.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "PJ",
+    "NJ",
+    "UJ",
+    "MW",
+    "UW",
+    "UM2_TO_MM2",
+    "GIGA",
+    "MEGA",
+    "KILO",
+    "to_giga_ops_per_watt",
+    "format_si",
+]
+
+# time
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# energy
+PJ = 1e-12
+NJ = 1e-9
+UJ = 1e-6
+
+# power
+MW = 1e-3
+UW = 1e-6
+
+# area
+UM2_TO_MM2 = 1e-6
+
+# magnitudes
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+
+
+def to_giga_ops_per_watt(operations: float, latency_s: float, power_w: float) -> float:
+    """Computing efficiency in GOPs/s/W as defined by the STAR paper.
+
+    "Computing efficiency here measures the number of operations that can be
+    performed by a computing unit every unit time and every watt of power
+    consumed."  (Section III.)
+    """
+    if latency_s <= 0:
+        raise ValueError(f"latency must be positive, got {latency_s}")
+    if power_w <= 0:
+        raise ValueError(f"power must be positive, got {power_w}")
+    return operations / latency_s / power_w / GIGA
+
+
+_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+]
+
+
+def format_si(value: float, unit: str, digits: int = 3) -> str:
+    """Render ``value`` with an SI prefix, e.g. ``format_si(2.5e-9, 's') == '2.5 ns'``."""
+    if value == 0:
+        return f"0 {unit}"
+    magnitude = abs(value)
+    for scale, prefix in _PREFIXES:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}"
+    scale, prefix = _PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}"

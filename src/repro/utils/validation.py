@@ -1,0 +1,68 @@
+"""Argument-validation helpers used across the package.
+
+Keeping these in one place gives consistent error messages and keeps the
+simulation code free of repetitive boilerplate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_power_of_two",
+    "as_1d_float_array",
+    "as_2d_float_array",
+]
+
+
+def require_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def require_power_of_two(value: int, name: str) -> int:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+    return value
+
+
+def as_1d_float_array(values: Any, name: str) -> np.ndarray:
+    """Coerce ``values`` to a 1-D float64 array, raising on higher rank."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def as_2d_float_array(values: Any, name: str) -> np.ndarray:
+    """Coerce ``values`` to a 2-D float64 array, raising on other ranks."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be two-dimensional, got shape {arr.shape}")
+    return arr

@@ -1,0 +1,32 @@
+"""Synthetic workloads: attention-score distributions, classification task, sweeps."""
+
+from repro.workloads.classification import ClassificationResult, ClassificationTask
+from repro.workloads.scores import (
+    CNEWS_PROFILE,
+    COLA_PROFILE,
+    DATASET_PROFILES,
+    MRPC_PROFILE,
+    AttentionScoreGenerator,
+    ScoreProfile,
+)
+from repro.workloads.sweeps import (
+    INTRO_SEQUENCE_SWEEP,
+    PRECISION_SWEEP,
+    BitwidthSweep,
+    SequenceLengthSweep,
+)
+
+__all__ = [
+    "ScoreProfile",
+    "AttentionScoreGenerator",
+    "CNEWS_PROFILE",
+    "MRPC_PROFILE",
+    "COLA_PROFILE",
+    "DATASET_PROFILES",
+    "ClassificationTask",
+    "ClassificationResult",
+    "SequenceLengthSweep",
+    "BitwidthSweep",
+    "INTRO_SEQUENCE_SWEEP",
+    "PRECISION_SWEEP",
+]

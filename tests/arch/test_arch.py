@@ -1,0 +1,127 @@
+"""Tests for repro.arch: area model, cost reports, comparisons, system overheads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.area import CrossbarAreaModel, rram_cell_area_um2
+from repro.arch.report import ComparisonTable, CostReport
+from repro.arch.system import DEFAULT_SYSTEM_OVERHEAD, SystemOverheadModel
+from repro.rram.converters import ADC, DAC
+
+
+class TestAreaModel:
+    def test_cell_area_follows_4f2(self):
+        assert rram_cell_area_um2(32.0, 4.0) == pytest.approx(4 * 0.032**2)
+        assert rram_cell_area_um2(16.0) == pytest.approx(rram_cell_area_um2(32.0) / 4)
+
+    def test_array_area_scales_with_cells(self):
+        model = CrossbarAreaModel()
+        assert model.array_area_um2(256, 256) == pytest.approx(4 * model.array_area_um2(128, 128))
+
+    def test_vmm_crossbar_area_includes_peripherals(self):
+        model = CrossbarAreaModel()
+        adc, dac = ADC(bits=5), DAC(bits=1)
+        total = model.vmm_crossbar_area_um2(128, 128, adc, dac)
+        assert total > model.array_area_um2(128, 128)
+
+    def test_cam_area_counts_complementary_cells(self):
+        model = CrossbarAreaModel()
+        cam = model.cam_crossbar_area_um2(512, 9)
+        assert cam > model.array_area_um2(512, 18)
+
+    def test_lut_area(self):
+        model = CrossbarAreaModel()
+        assert model.lut_crossbar_area_um2(256, 18) > 0
+
+    def test_invalid_dimensions(self):
+        model = CrossbarAreaModel()
+        with pytest.raises(ValueError):
+            model.array_area_um2(0, 10)
+        with pytest.raises(ValueError):
+            model.cam_crossbar_area_um2(10, 0)
+        with pytest.raises(ValueError):
+            model.vmm_crossbar_area_um2(8, 8, ADC(), DAC(), adc_share=0)
+
+
+class TestCostReport:
+    def make(self, name="x", power=10.0, latency=1e-3, ops=1e10):
+        return CostReport(name=name, area_mm2=25.0, power_w=power, latency_s=latency, operations=ops)
+
+    def test_efficiency_matches_definition(self):
+        report = self.make(power=10.0, latency=1e-3, ops=1e10)
+        # 1e10 ops / 1e-3 s = 1e13 ops/s = 1e4 GOPs/s, / 10 W = 1e3 GOPs/s/W
+        assert report.computing_efficiency_gops_per_watt == pytest.approx(1000.0)
+
+    def test_energy_defaults_to_power_times_latency(self):
+        report = self.make(power=5.0, latency=2.0)
+        assert report.energy_j == pytest.approx(10.0)
+
+    def test_throughput_and_energy_per_op(self):
+        report = self.make(latency=1e-3, ops=2e9)
+        assert report.throughput_gops == pytest.approx(2000.0)
+        assert report.energy_per_op_j == pytest.approx(report.energy_j / 2e9)
+
+    def test_summary_keys(self):
+        summary = self.make().summary()
+        assert "efficiency_gops_per_watt" in summary
+        assert "latency_s" in summary
+
+    def test_invalid_report(self):
+        with pytest.raises(ValueError):
+            CostReport(name="bad", area_mm2=0, power_w=1, latency_s=1, operations=1)
+
+
+class TestComparisonTable:
+    def reports(self):
+        return [
+            CostReport(name="A", area_mm2=1.0, power_w=10.0, latency_s=1e-3, operations=1e9),
+            CostReport(name="B", area_mm2=2.0, power_w=5.0, latency_s=5e-4, operations=1e9),
+        ]
+
+    def test_ratios(self):
+        table = ComparisonTable(self.reports())
+        assert table.area_ratio("B", "A") == pytest.approx(2.0)
+        assert table.power_ratio("B", "A") == pytest.approx(0.5)
+        # B: 2e12 ops/s / 5 W = 400 GOPs/W; A: 1e12 / 10 = 100 -> 4x
+        assert table.efficiency_gain("B", "A") == pytest.approx(4.0)
+
+    def test_get_unknown_design(self):
+        table = ComparisonTable(self.reports())
+        with pytest.raises(KeyError):
+            table.get("missing")
+
+    def test_duplicate_names_rejected(self):
+        report = self.reports()[0]
+        with pytest.raises(ValueError):
+            ComparisonTable([report, report])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonTable([])
+
+    def test_format_table(self):
+        table = ComparisonTable(self.reports())
+        text = table.format_table(reference="A")
+        assert "ratios vs A" in text
+        assert "B" in text
+
+
+class TestSystemOverhead:
+    def test_total_power_scales_with_tiles(self):
+        model = SystemOverheadModel()
+        assert model.total_power_w(96) > model.total_power_w(48)
+        expected = 96 * model.power_w_per_tile + model.io_power_w
+        assert model.total_power_w(96) == pytest.approx(expected)
+
+    def test_total_area(self):
+        model = DEFAULT_SYSTEM_OVERHEAD
+        assert model.total_area_mm2(96) == pytest.approx(96 * model.overhead_area_mm2_per_tile)
+
+    def test_requires_positive_tiles(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SYSTEM_OVERHEAD.total_power_w(0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SystemOverheadModel(buffer_power_w_per_tile=-1)

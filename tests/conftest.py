@@ -1,0 +1,41 @@
+"""Shared fixtures for the STAR reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RRAMSoftmaxEngine, SoftmaxEngineConfig
+from repro.utils.fixed_point import CNEWS_FORMAT, COLA_FORMAT, MRPC_FORMAT
+from repro.workloads import CNEWS_PROFILE, COLA_PROFILE, MRPC_PROFILE, AttentionScoreGenerator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def cnews_engine() -> RRAMSoftmaxEngine:
+    """A softmax engine configured with the CNEWS 8-bit format."""
+    return RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+
+
+@pytest.fixture
+def score_rows(rng) -> np.ndarray:
+    """A small batch of synthetic CNEWS-like attention-score rows."""
+    generator = AttentionScoreGenerator(CNEWS_PROFILE, seed=7)
+    return generator.rows(8, 32)
+
+
+@pytest.fixture(params=["CNEWS", "MRPC", "CoLA"])
+def dataset_profile(request):
+    """Parametrised fixture over the three dataset profiles."""
+    return {"CNEWS": CNEWS_PROFILE, "MRPC": MRPC_PROFILE, "CoLA": COLA_PROFILE}[request.param]
+
+
+@pytest.fixture(params=["CNEWS", "MRPC", "CoLA"])
+def dataset_format(request):
+    """Parametrised fixture over the three paper formats."""
+    return {"CNEWS": CNEWS_FORMAT, "MRPC": MRPC_FORMAT, "CoLA": COLA_FORMAT}[request.param]

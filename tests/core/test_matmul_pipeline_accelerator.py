@@ -1,0 +1,204 @@
+"""Tests for the MatMul engine, pipeline models and the STAR accelerator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import STARAccelerator
+from repro.core.config import MatMulEngineConfig, PipelineConfig, STARConfig, SoftmaxEngineConfig
+from repro.core.matmul_engine import GEMMShape, MatMulEngine
+from repro.core.pipeline import AttentionPipeline, StageTiming, attention_streams
+from repro.nn.bert import BertWorkload
+from repro.utils.fixed_point import MRPC_FORMAT
+
+
+class TestGEMMShape:
+    def test_operations(self):
+        assert GEMMShape(4, 8, 16).operations == 2 * 4 * 8 * 16
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            GEMMShape(0, 1, 1)
+
+
+class TestMatMulEngine:
+    def small_engine(self, num_tiles=4):
+        # 5 bits/cell keeps weight-quantisation error small enough to verify
+        # the analog GEMM path functionally
+        return MatMulEngine(
+            MatMulEngineConfig(
+                crossbar_rows=16,
+                crossbar_cols=16,
+                adc_bits=10,
+                num_tiles=num_tiles,
+                bits_per_cell=5,
+            )
+        )
+
+    def test_functional_matvec_tile(self, rng):
+        engine = self.small_engine()
+        matrix = rng.normal(size=(16, 16))
+        vector = rng.uniform(0, 1, size=16)
+        result = engine.matvec_tile(matrix, vector)
+        expected = vector @ matrix
+        assert np.max(np.abs(result - expected)) / np.max(np.abs(expected)) < 0.35
+
+    def test_functional_matmul_matches_numpy_shape_and_scale(self, rng):
+        engine = self.small_engine()
+        a = rng.normal(size=(4, 16))
+        b = rng.normal(size=(16, 16))
+        approx = engine.matmul(a, b)
+        exact = a @ b
+        assert approx.shape == exact.shape
+        correlation = np.corrcoef(approx.ravel(), exact.ravel())[0, 1]
+        assert correlation > 0.95
+
+    def test_matmul_rejects_bad_shapes(self, rng):
+        engine = self.small_engine()
+        with pytest.raises(ValueError):
+            engine.matmul(rng.normal(size=(2, 3)), rng.normal(size=(4, 2)))
+
+    def test_gemm_tile_vmms_and_latency(self):
+        engine = MatMulEngine(MatMulEngineConfig(num_tiles=96))
+        shape = GEMMShape(m=128, k=768, n=768)
+        # 6 x 6 tiles of 128x128, one VMM per input row per tile
+        assert engine.gemm_tile_vmms(shape) == 6 * 6 * 128
+        assert engine.gemm_latency_s(shape) > 0
+        assert engine.gemm_energy_j(shape) == pytest.approx(
+            engine.gemm_tile_vmms(shape) * engine.tile_vmm_energy_j()
+        )
+
+    def test_duplication_speeds_up_small_gemms(self):
+        dup = MatMulEngine(MatMulEngineConfig(num_tiles=96, allow_duplication=True))
+        no_dup = MatMulEngine(MatMulEngineConfig(num_tiles=96, allow_duplication=False))
+        shape = GEMMShape(m=128, k=128, n=128)
+        assert dup.gemm_latency_s(shape) < no_dup.gemm_latency_s(shape)
+
+    def test_more_tiles_never_slower(self):
+        few = MatMulEngine(MatMulEngineConfig(num_tiles=8))
+        many = MatMulEngine(MatMulEngineConfig(num_tiles=64))
+        shape = GEMMShape(m=64, k=768, n=768)
+        assert many.gemm_latency_s(shape) <= few.gemm_latency_s(shape)
+
+    def test_row_latency_single_wave(self):
+        engine = MatMulEngine(MatMulEngineConfig(num_tiles=96))
+        shape = GEMMShape(m=1, k=64, n=128)
+        assert engine.row_latency_s(shape) == pytest.approx(engine.tile_vmm_latency_s())
+
+    def test_engine_level_costs(self):
+        engine = MatMulEngine(MatMulEngineConfig(num_tiles=96))
+        assert engine.area_mm2() > 0
+        assert engine.peak_power_w() == pytest.approx(96 * engine.tile_power_w())
+        assert engine.peak_throughput_ops() > 0
+        assert engine.tile_ops() == 2 * 128 * 128
+
+    def test_programming_costs(self):
+        engine = MatMulEngine()
+        shape = GEMMShape(m=1, k=128, n=128)
+        assert engine.programming_energy_j(shape) > 0
+        assert engine.programming_latency_s(shape) > 0
+
+
+class TestPipeline:
+    def timing(self, score=100e-9, softmax=150e-9, context=100e-9, rows=64):
+        return StageTiming(
+            score_row_s=score, softmax_row_s=softmax, context_row_s=context, num_rows=rows
+        )
+
+    def test_vector_faster_than_operand(self):
+        pipeline = AttentionPipeline()
+        timing = self.timing()
+        assert pipeline.speedup(timing) > 1.0
+
+    def test_vector_latency_approaches_bottleneck_rate(self):
+        pipeline = AttentionPipeline(PipelineConfig(stage_handoff_s=0.0))
+        timing = self.timing(rows=10000)
+        schedule = pipeline.vector_grained_latency(timing)
+        per_row = schedule.total_latency_s / timing.num_rows
+        assert per_row == pytest.approx(timing.bottleneck_row_s, rel=0.01)
+
+    def test_operand_latency_is_sum_of_stage_totals(self):
+        pipeline = AttentionPipeline(PipelineConfig(stage_handoff_s=0.0))
+        timing = self.timing()
+        expected = timing.num_rows * timing.sum_row_s
+        assert pipeline.operand_grained_latency(timing).total_latency_s == pytest.approx(expected)
+
+    def test_speedup_bounded_by_three(self):
+        pipeline = AttentionPipeline(PipelineConfig(stage_handoff_s=0.0))
+        balanced = self.timing(100e-9, 100e-9, 100e-9, rows=10000)
+        assert pipeline.speedup(balanced) == pytest.approx(3.0, rel=0.01)
+        skewed = self.timing(10e-9, 500e-9, 10e-9, rows=10000)
+        assert pipeline.speedup(skewed) < 1.2
+
+    def test_configured_granularity_selects_schedule(self):
+        timing = self.timing()
+        vector = AttentionPipeline(PipelineConfig(granularity="vector")).latency(timing)
+        operand = AttentionPipeline(PipelineConfig(granularity="operand")).latency(timing)
+        assert vector.granularity == "vector"
+        assert operand.granularity == "operand"
+        assert vector.total_latency_s < operand.total_latency_s
+
+    def test_attention_streams(self):
+        assert attention_streams(12, 1, 96) == 12
+        assert attention_streams(12, 1, 8) == 4
+        assert attention_streams(12, 4, 96) == 48
+        with pytest.raises(ValueError):
+            attention_streams(0, 1, 96)
+
+    def test_invalid_timing_and_config(self):
+        with pytest.raises(ValueError):
+            StageTiming(score_row_s=0, softmax_row_s=1, context_row_s=1, num_rows=1)
+        with pytest.raises(ValueError):
+            PipelineConfig(granularity="weird")
+
+
+class TestSTARAccelerator:
+    def test_cost_report_matches_paper_scale(self):
+        star = STARAccelerator()
+        report = star.cost_report(BertWorkload(seq_len=128))
+        # paper: 612.66 GOPs/s/W; the model should land in the same regime
+        assert 450 < report.computing_efficiency_gops_per_watt < 800
+        assert report.power_w < 30
+        assert report.area_mm2 < 100
+
+    def test_vector_pipeline_beats_operand_pipeline(self):
+        workload = BertWorkload(seq_len=128)
+        vector = STARAccelerator()
+        operand = STARAccelerator(
+            STARConfig(pipeline=PipelineConfig(granularity="operand"))
+        )
+        assert vector.inference_latency_s(workload) < operand.inference_latency_s(workload)
+
+    def test_latency_grows_with_sequence_length(self):
+        star = STARAccelerator()
+        assert star.inference_latency_s(BertWorkload(seq_len=256)) > star.inference_latency_s(
+            BertWorkload(seq_len=128)
+        )
+
+    def test_layer_breakdown_components_positive(self):
+        star = STARAccelerator()
+        breakdown = star.layer_latency_breakdown(BertWorkload(seq_len=128))
+        assert breakdown.projection_s > 0
+        assert breakdown.attention_pipeline_s > 0
+        assert breakdown.ffn_s > 0
+        assert breakdown.total_s == pytest.approx(
+            breakdown.projection_s + breakdown.attention_pipeline_s + breakdown.ffn_s
+        )
+        assert 0 <= breakdown.softmax_share <= 1
+
+    def test_more_softmax_engines_do_not_hurt_latency(self):
+        workload = BertWorkload(seq_len=128)
+        few = STARAccelerator(num_softmax_engines=8)
+        many = STARAccelerator(num_softmax_engines=128)
+        assert many.inference_latency_s(workload) <= few.inference_latency_s(workload)
+        assert many.power_w() > few.power_w()
+
+    def test_with_format_propagates(self):
+        config = STARConfig().with_format(MRPC_FORMAT)
+        star = STARAccelerator(config)
+        assert star.softmax_engine.fmt == MRPC_FORMAT
+
+    def test_requires_positive_engine_count(self):
+        with pytest.raises(ValueError):
+            STARAccelerator(num_softmax_engines=0)

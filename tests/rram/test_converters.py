@@ -1,0 +1,92 @@
+"""Tests for repro.rram.converters (ADC, DAC, sense amp, sample & hold)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rram.converters import ADC, DAC, SampleAndHold, SenseAmplifier
+
+
+class TestADC:
+    def test_paper_adc_is_5_bit(self):
+        adc = ADC(bits=5)
+        assert adc.num_levels == 32
+
+    def test_area_power_scale_with_bits(self):
+        small = ADC(bits=5)
+        large = ADC(bits=8)
+        assert large.area_um2 == pytest.approx(small.area_um2 * 8)
+        assert large.power_w == pytest.approx(small.power_w * 8)
+
+    def test_quantize_saturates_and_rounds(self):
+        adc = ADC(bits=4)
+        codes = adc.quantize(np.array([-1.0, 0.0, 0.5, 1.0, 2.0]), full_scale=1.0)
+        assert codes[0] == 0
+        assert codes[-1] == adc.num_levels - 1
+        assert codes[2] == round(0.5 * 15)
+
+    def test_convert_error_bounded_by_half_lsb(self, rng):
+        adc = ADC(bits=6)
+        values = rng.uniform(0, 1, size=1000)
+        recovered = adc.convert(values, full_scale=1.0)
+        lsb = 1.0 / (adc.num_levels - 1)
+        assert np.max(np.abs(recovered - values)) <= lsb / 2 + 1e-12
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            ADC(bits=0)
+        with pytest.raises(ValueError):
+            ADC(bits=20)
+
+    def test_quantize_requires_positive_full_scale(self):
+        with pytest.raises(ValueError):
+            ADC().quantize(np.ones(3), full_scale=0.0)
+
+
+class TestDAC:
+    def test_one_bit_dac_is_binary(self):
+        dac = DAC(bits=1)
+        voltages = dac.drive(np.array([0, 1]), v_read=0.3)
+        np.testing.assert_allclose(voltages, [0.0, 0.3])
+
+    def test_multibit_dac_is_linear(self):
+        dac = DAC(bits=3)
+        codes = np.arange(dac.num_levels)
+        voltages = dac.drive(codes, v_read=0.7)
+        np.testing.assert_allclose(np.diff(voltages), 0.7 / 7)
+
+    def test_drive_clips_out_of_range_codes(self):
+        dac = DAC(bits=2)
+        voltages = dac.drive(np.array([-5, 100]), v_read=1.0)
+        assert voltages[0] == 0.0
+        assert voltages[1] == 1.0
+
+    def test_costs_scale_with_bits(self):
+        assert DAC(bits=4).area_um2 == pytest.approx(4 * DAC(bits=1).area_um2)
+        assert DAC(bits=4).power_w > DAC(bits=1).power_w
+
+    def test_energy_per_conversion(self):
+        dac = DAC(bits=2)
+        assert dac.energy_per_conversion_j == pytest.approx(dac.power_w * dac.latency_s)
+
+
+class TestSenseAmplifierAndSampleHold:
+    def test_sense_thresholding(self):
+        sa = SenseAmplifier(threshold_a=1e-6)
+        out = sa.sense(np.array([0.0, 5e-7, 1e-6, 2e-6]))
+        assert out.tolist() == [0, 0, 1, 1]
+
+    def test_sense_energy_positive(self):
+        sa = SenseAmplifier()
+        assert sa.energy_per_sense_j > 0
+
+    def test_sample_hold_energy(self):
+        sh = SampleAndHold()
+        assert sh.energy_per_sample_j == pytest.approx(sh.power_w * sh.latency_s)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SenseAmplifier(area_um2=0)
+        with pytest.raises(ValueError):
+            SampleAndHold(latency_s=-1)

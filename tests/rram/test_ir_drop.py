@@ -1,0 +1,78 @@
+"""Tests for the crossbar's first-order IR-drop model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rram.crossbar import AnalogCrossbar, CrossbarConfig
+from repro.rram.device import RRAMDeviceConfig
+
+
+def build(wire_resistance_ohm=0.0, rows=32, cols=16):
+    config = CrossbarConfig(
+        rows=rows,
+        cols=cols,
+        adc_bits=12,
+        device=RRAMDeviceConfig(bits_per_cell=5),
+        wire_resistance_ohm=wire_resistance_ohm,
+    )
+    return AnalogCrossbar(config)
+
+
+class TestIRDrop:
+    def test_disabled_by_default(self):
+        crossbar = build()
+        assert crossbar._ir_drop_factors is None
+
+    def test_factors_shape_and_range(self):
+        crossbar = build(wire_resistance_ohm=5.0)
+        factors = crossbar._ir_drop_factors
+        assert factors.shape == (32, 16)
+        assert np.all(factors > 0) and np.all(factors <= 1.0)
+
+    def test_far_cells_are_attenuated_more(self):
+        crossbar = build(wire_resistance_ohm=5.0)
+        factors = crossbar._ir_drop_factors
+        # the cell closest to both driver and sense node suffers the least
+        assert factors.max() == factors[-1, 0]
+        # the farthest cell suffers the most
+        assert factors.min() == factors[0, -1]
+
+    def test_ir_drop_reduces_output_magnitude(self, rng):
+        weights = rng.uniform(0.1, 1.0, size=(32, 16))
+        inputs = rng.uniform(0.1, 1.0, size=32)
+        clean = build(wire_resistance_ohm=0.0)
+        droopy = build(wire_resistance_ohm=10.0)
+        clean.program(weights)
+        droopy.program(weights)
+        out_clean = clean.matvec(inputs, quantize_output=False)
+        out_droopy = droopy.matvec(inputs, quantize_output=False)
+        assert np.all(out_droopy <= out_clean + 1e-12)
+        assert out_droopy.sum() < out_clean.sum()
+
+    def test_error_grows_with_wire_resistance(self, rng):
+        weights = rng.uniform(0.1, 1.0, size=(32, 16))
+        inputs = rng.uniform(0.1, 1.0, size=32)
+        errors = []
+        for r_wire in (1.0, 20.0):
+            crossbar = build(wire_resistance_ohm=r_wire)
+            crossbar.program(weights)
+            ideal = crossbar.ideal_matvec(inputs)
+            out = crossbar.matvec(inputs, quantize_output=False)
+            errors.append(np.linalg.norm(out - ideal))
+        assert errors[1] > errors[0]
+
+    def test_small_wire_resistance_keeps_result_accurate(self, rng):
+        crossbar = build(wire_resistance_ohm=1.0)
+        weights = rng.uniform(0.1, 1.0, size=(32, 16))
+        crossbar.program(weights)
+        inputs = rng.uniform(0.1, 1.0, size=32)
+        ideal = crossbar.ideal_matvec(inputs)
+        out = crossbar.matvec(inputs, quantize_output=False)
+        relative = np.abs(out - ideal) / np.max(np.abs(ideal))
+        assert np.max(relative) < 0.1
+
+    def test_negative_wire_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(wire_resistance_ohm=-1.0)

@@ -1,0 +1,57 @@
+"""Tests for the experiment runner and its CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.__main__ import main as cli_main
+
+
+class TestRunner:
+    def test_all_nine_experiments_registered(self):
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 10)}
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("e42")
+
+    def test_e4_report_contains_paper_formats(self):
+        report = run_experiment("e4")
+        assert "8 (6i+2f)" in report
+        assert "9 (6i+3f)" in report
+        assert "7 (5i+2f)" in report
+
+    def test_e5_report_contains_all_designs(self):
+        report = run_experiment("e5")
+        for name in ("CMOS baseline", "Softermax", "STAR"):
+            assert name in report
+
+    def test_e6_report_contains_star_efficiency(self):
+        report = run_experiment("e6")
+        assert "GOPs/s/W" in report
+        assert "paper 612.66" in report
+
+    def test_case_insensitive_ids(self):
+        assert run_experiment("E2") == run_experiment("e2")
+
+    def test_run_all_subset(self):
+        text = run_all(["e2", "e3"])
+        assert "CAM/SUB" in text
+        assert "Exponential unit" in text
+
+
+class TestCLI:
+    def test_list_option(self, capsys):
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1:" in out and "e9:" in out
+
+    def test_single_experiment(self, capsys):
+        assert cli_main(["e4"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-width" in out.lower() or "bit" in out.lower()
+
+    def test_unknown_experiment_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            cli_main(["e99"])

@@ -1,0 +1,113 @@
+"""End-to-end integration tests spanning multiple subsystems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MatMulEngine,
+    MatMulEngineConfig,
+    RRAMSoftmaxEngine,
+    SoftmaxEngineConfig,
+    STARAccelerator,
+)
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.bert import BertConfig, BertEncoderModel, BertWorkload
+from repro.nn.functional import softmax as exact_softmax
+from repro.nn.softmax_models import FixedPointSoftmax
+from repro.utils.fixed_point import CNEWS_FORMAT
+from repro.workloads import AttentionScoreGenerator, CNEWS_PROFILE, ClassificationTask
+
+
+class TestAttentionWithRRAMSoftmax:
+    """The RRAM softmax engine plugged directly into a NumPy attention layer."""
+
+    def test_attention_output_close_to_exact(self, rng):
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        exact_attention = MultiHeadAttention(hidden=32, num_heads=4, rng=np.random.default_rng(0))
+        rram_attention = MultiHeadAttention(
+            hidden=32, num_heads=4, rng=np.random.default_rng(0), softmax_fn=engine
+        )
+        x = rng.normal(size=(1, 6, 32)) * 2.0
+        out_exact = exact_attention(x)
+        out_rram = rram_attention(x)
+        scale = np.max(np.abs(out_exact))
+        assert np.max(np.abs(out_exact - out_rram)) / scale < 0.1
+
+    def test_small_bert_encoder_with_engine_softmax(self, rng):
+        config = BertConfig(
+            num_layers=1, hidden=32, num_heads=4, intermediate=64, vocab_size=64, max_positions=16
+        )
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        reference = BertEncoderModel(config, seed=1)
+        hardware = BertEncoderModel(config, seed=1, softmax_fn=engine)
+        ids = rng.integers(0, 64, size=(1, 8))
+        out_ref = reference(ids)
+        out_hw = hardware(ids)
+        assert out_ref.shape == out_hw.shape
+        correlation = np.corrcoef(out_ref.ravel(), out_hw.ravel())[0, 1]
+        assert correlation > 0.99
+
+
+class TestFunctionalVsCycleModelAgreement:
+    """The fast functional softmax and the crossbar-level engine must agree."""
+
+    def test_agreement_on_generated_attention_scores(self):
+        generator = AttentionScoreGenerator(CNEWS_PROFILE, seed=11)
+        scores = generator.rows(6, 24)
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        functional = FixedPointSoftmax(CNEWS_FORMAT)
+        np.testing.assert_array_equal(engine.softmax(scores), functional(scores))
+
+    def test_classification_task_same_result_with_either_model(self):
+        task = ClassificationTask(CNEWS_PROFILE, num_examples=6, seq_len=12, seed=5)
+        functional_acc = task.evaluate(FixedPointSoftmax(CNEWS_FORMAT)).accuracy
+        engine_acc = task.evaluate(
+            RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        ).accuracy
+        assert functional_acc == pytest.approx(engine_acc)
+
+
+class TestCrossbarAttentionMatmul:
+    """Analog crossbar GEMMs feeding the softmax engine, end to end."""
+
+    def test_single_head_attention_on_crossbars(self, rng):
+        head_dim, seq_len = 16, 12
+        engine = MatMulEngine(
+            MatMulEngineConfig(crossbar_rows=16, crossbar_cols=16, adc_bits=10, num_tiles=4)
+        )
+        softmax_engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        q = rng.normal(size=(seq_len, head_dim))
+        k = rng.normal(size=(seq_len, head_dim))
+        v = rng.normal(size=(seq_len, head_dim))
+
+        scores_analog = engine.matmul(q, k.T) / np.sqrt(head_dim)
+        weights = np.stack([softmax_engine.softmax_row(row) for row in scores_analog])
+        context_analog = engine.matmul(weights, v)
+
+        scores_exact = q @ k.T / np.sqrt(head_dim)
+        context_exact = exact_softmax(scores_exact) @ v
+
+        correlation = np.corrcoef(context_analog.ravel(), context_exact.ravel())[0, 1]
+        assert correlation > 0.9
+
+
+class TestWorkloadToAcceleratorFlow:
+    def test_star_faster_and_leaner_than_sequence_square_growth(self):
+        star = STARAccelerator()
+        short = star.cost_report(BertWorkload(seq_len=128))
+        long = star.cost_report(BertWorkload(seq_len=256))
+        # ops grow faster than latency degrades efficiency dramatically
+        assert long.latency_s > short.latency_s
+        assert long.operations > short.operations
+        assert 0.3 < long.computing_efficiency_gops_per_watt / short.computing_efficiency_gops_per_watt < 3.0
+
+    def test_format_choice_flows_from_bitwidth_analysis(self):
+        from repro.analysis.bitwidth import BitwidthAnalyzer
+
+        requirement = BitwidthAnalyzer(num_rows=64).analyze(CNEWS_PROFILE)
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=requirement.fmt))
+        scores = AttentionScoreGenerator(CNEWS_PROFILE, seed=3).rows(4, 16)
+        probs = engine.softmax(scores)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-9)

@@ -1,0 +1,124 @@
+"""Tests for repro.utils.stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    RunningStats,
+    geometric_mean,
+    kl_divergence,
+    percentile_range,
+    relative_error,
+    summarize,
+)
+
+
+class TestRunningStats:
+    def test_matches_numpy_moments(self, rng):
+        values = rng.normal(3.0, 2.0, size=500)
+        stats = RunningStats()
+        stats.update(values)
+        assert stats.count == 500
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.std == pytest.approx(np.std(values), rel=1e-9)
+        assert stats.minimum == pytest.approx(np.min(values))
+        assert stats.maximum == pytest.approx(np.max(values))
+
+    def test_incremental_updates_equal_batch(self, rng):
+        values = rng.normal(size=100)
+        batch = RunningStats()
+        batch.update(values)
+        incremental = RunningStats()
+        for value in values:
+            incremental.update(value)
+        assert incremental.mean == pytest.approx(batch.mean)
+        assert incremental.variance == pytest.approx(batch.variance)
+
+    def test_range(self):
+        stats = RunningStats()
+        stats.update([1.0, 5.0, -2.0])
+        assert stats.range == pytest.approx(7.0)
+
+    def test_empty_stats_are_nan(self):
+        stats = RunningStats()
+        assert np.isnan(stats.variance)
+        assert np.isnan(stats.range)
+
+
+class TestSummaries:
+    def test_summarize_keys_and_values(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_percentile_range_covers_bulk(self, rng):
+        values = rng.normal(0, 1, size=10000)
+        low, high = percentile_range(values, coverage=0.95)
+        inside = np.mean((values >= low) & (values <= high))
+        assert inside == pytest.approx(0.95, abs=0.02)
+
+    def test_percentile_range_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            percentile_range(np.ones(10), coverage=0.0)
+
+    def test_percentile_range_empty(self):
+        with pytest.raises(ValueError):
+            percentile_range(np.array([]))
+
+
+class TestRatios:
+    def test_geometric_mean_of_constant(self):
+        assert geometric_mean([4.0, 4.0, 4.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_of_reciprocal_pair(self):
+        assert geometric_mean([2.0, 0.5]) == pytest.approx(1.0)
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")
+
+
+class TestKLDivergence:
+    def test_identical_distributions_have_zero_kl(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_kl_is_non_negative(self, rng):
+        for _ in range(20):
+            p = rng.dirichlet(np.ones(16))
+            q = rng.dirichlet(np.ones(16))
+            assert kl_divergence(p, q) >= -1e-12
+
+    def test_kl_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.ones(3) / 3, np.ones(4) / 4)
+
+    def test_kl_normalises_inputs(self):
+        p = np.array([2.0, 3.0, 5.0])
+        q = np.array([0.2, 0.3, 0.5])
+        assert kl_divergence(p, q) == pytest.approx(0.0, abs=1e-12)
+
+    @given(st.integers(min_value=2, max_value=32), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_kl_non_negative_property(self, size, seed):
+        generator = np.random.default_rng(seed)
+        p = generator.dirichlet(np.ones(size))
+        q = generator.dirichlet(np.ones(size))
+        assert kl_divergence(p, q) >= -1e-12
