@@ -115,10 +115,15 @@ class AblationSuite:
             (6, 2),
             (6, 3),
         ),
-        num_rows: int = 64,
-        seq_len: int = 64,
+        num_rows: int = 256,
+        seq_len: int = 256,
     ) -> list[PrecisionAblationRow]:
-        """Engine cost and softmax fidelity across fixed-point formats."""
+        """Engine cost and softmax fidelity across fixed-point formats.
+
+        Runs the cycle-accurate engine itself (not the functional model) at
+        every format; the batched backend keeps the sweep fast even at
+        BERT-scale row counts.
+        """
         generator = AttentionScoreGenerator(profile, seed=self.seed)
         scores = generator.rows(num_rows, seq_len)
         exact = exact_softmax(scores)
@@ -147,10 +152,15 @@ class AblationSuite:
         profile: ScoreProfile,
         fmt: FixedPointFormat,
         noise_points: list[tuple[str, NoiseConfig]] | None = None,
-        num_rows: int = 32,
-        seq_len: int = 64,
+        num_rows: int = 128,
+        seq_len: int = 256,
     ) -> list[NoiseAblationRow]:
-        """Softmax fidelity under increasing RRAM non-ideality levels."""
+        """Softmax fidelity under increasing RRAM non-ideality levels.
+
+        The engine's batched backend draws the analog perturbations for a
+        whole score block at once, so the Monte-Carlo corners run at full
+        scale.
+        """
         if noise_points is None:
             noise_points = [
                 ("ideal", NoiseConfig()),

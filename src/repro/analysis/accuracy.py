@@ -20,6 +20,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.config import SoftmaxEngineConfig
+from repro.core.softmax_engine import RRAMSoftmaxEngine
 from repro.nn.functional import softmax as exact_softmax
 from repro.nn.softmax_models import FixedPointSoftmax
 from repro.utils.fixed_point import FixedPointFormat
@@ -28,6 +30,8 @@ from repro.workloads.classification import ClassificationTask
 from repro.workloads.scores import AttentionScoreGenerator, ScoreProfile
 
 __all__ = ["FidelityMetrics", "PrecisionSweepPoint", "AccuracyAnalyzer"]
+
+SoftmaxFactory = Callable[[FixedPointFormat], Callable[[np.ndarray], np.ndarray]]
 
 
 @dataclass(frozen=True)
@@ -63,6 +67,18 @@ class AccuracyAnalyzer:
         self.num_rows = num_rows
         self.seed = seed
 
+    @staticmethod
+    def engine_for_format(fmt: FixedPointFormat) -> RRAMSoftmaxEngine:
+        """A cycle-accurate engine for one swept format (a softmax factory).
+
+        The engine's crossbars must hold every representable level, so the
+        sweep sizes them to the format instead of using the paper defaults.
+        """
+        rows = max(512, fmt.num_levels)
+        return RRAMSoftmaxEngine(
+            SoftmaxEngineConfig(fmt=fmt, cam_sub_rows=rows, exp_rows=max(256, fmt.num_levels))
+        )
+
     # ------------------------------------------------------------------ #
     # distribution fidelity
     # ------------------------------------------------------------------ #
@@ -94,16 +110,26 @@ class AccuracyAnalyzer:
         formats: list[tuple[int, int]],
         include_task_accuracy: bool = False,
         task: ClassificationTask | None = None,
+        softmax_factory: SoftmaxFactory | None = None,
     ) -> list[PrecisionSweepPoint]:
-        """Fidelity (and optionally task accuracy) across fixed-point formats."""
+        """Fidelity (and optionally task accuracy) across fixed-point formats.
+
+        ``softmax_factory`` maps each swept format to the softmax callable
+        under test.  It defaults to the functional
+        :class:`~repro.nn.softmax_models.FixedPointSoftmax`; pass
+        :meth:`engine_for_format` to sweep the cycle-accurate RRAM engine
+        itself — its batched backend makes that no slower than the
+        functional model.
+        """
         if not formats:
             raise ValueError("formats must not be empty")
         if include_task_accuracy and task is None:
             task = ClassificationTask(profile, num_examples=32, seq_len=32, seed=self.seed)
+        factory = softmax_factory if softmax_factory is not None else FixedPointSoftmax
         points = []
         for integer_bits, frac_bits in formats:
             fmt = FixedPointFormat(integer_bits, frac_bits)
-            softmax_fn = FixedPointSoftmax(fmt)
+            softmax_fn = factory(fmt)
             fidelity = self.fidelity(softmax_fn, profile)
             accuracy = None
             if include_task_accuracy and task is not None:

@@ -1,7 +1,8 @@
 """STAR's core contribution: the RRAM softmax engine, MatMul engine and pipeline."""
 
 from repro.core.accelerator import LayerLatencyBreakdown, STARAccelerator
-from repro.core.cam_sub import CamSubCrossbar, CamSubResult
+from repro.core.access_stats import AccessStats
+from repro.core.cam_sub import CamSubBatchResult, CamSubCrossbar, CamSubResult
 from repro.core.config import (
     MatMulEngineConfig,
     PipelineConfig,
@@ -10,7 +11,7 @@ from repro.core.config import (
 )
 from repro.core.counter import CounterBank
 from repro.core.divider import DividerUnit
-from repro.core.exponent import ExponentialUnit, ExponentResult
+from repro.core.exponent import ExponentBatchResult, ExponentialUnit, ExponentResult
 from repro.core.matmul_engine import GEMMShape, MatMulEngine
 from repro.core.pipeline import AttentionPipeline, PipelineSchedule, StageTiming
 from repro.core.softmax_engine import RRAMSoftmaxEngine, SoftmaxRowTrace
@@ -20,10 +21,13 @@ __all__ = [
     "SoftmaxEngineConfig",
     "MatMulEngineConfig",
     "PipelineConfig",
+    "AccessStats",
     "CamSubCrossbar",
     "CamSubResult",
+    "CamSubBatchResult",
     "ExponentialUnit",
     "ExponentResult",
+    "ExponentBatchResult",
     "CounterBank",
     "DividerUnit",
     "RRAMSoftmaxEngine",

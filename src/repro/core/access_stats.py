@@ -1,0 +1,131 @@
+"""Access statistics of the RRAM softmax engine.
+
+The cycle-accurate engine used to *walk* the data path to know what it did:
+energy and latency were charged while each element moved through the CAM,
+LUT, counters and divider.  The batched backend decouples the two concerns:
+the functional result is computed with pure vectorized NumPy, and an
+:class:`AccessStats` value records *how many* hardware accesses of each kind
+that computation corresponds to.  Energy, latency and the per-component
+ledger are then derived from the stats analytically
+(:meth:`repro.core.softmax_engine.RRAMSoftmaxEngine.energy_j_of` and
+friends), so the accounting never rides the hot path.
+
+One stats object describes any amount of work — a single row, a full
+``(num_rows, seq_len)`` score block, or the lifetime of an engine — and
+stats objects compose by addition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["AccessStats"]
+
+
+@dataclass(frozen=True)
+class AccessStats:
+    """Counts of every kind of hardware access the softmax engine performs.
+
+    Attributes
+    ----------
+    rows:
+        Softmax rows processed.
+    elements:
+        Score elements processed (``sum`` of row lengths).
+    cam_sub_searches:
+        CAM-phase searches of the CAM/SUB crossbar (one per element).
+    or_merges:
+        OR-gate merge operations folding match vectors (one per element).
+    sub_passes:
+        SUB-phase crossbar passes producing ``x_max - x_i`` (one per element).
+    register_writes:
+        Result-register writes latching ``x_max`` (one per row).
+    exp_cam_searches:
+        CAM searches in the exponential unit (one per element).
+    lut_reads:
+        LUT readouts (one per element whose search hit a stored level).
+    counter_increments:
+        Counter increments (one per element that landed on a level with a
+        non-zero LUT entry).
+    vmm_passes:
+        Analog VMM summation passes producing denominators (one per row).
+    divides:
+        Divider operations (one per element).
+    cam_misses:
+        Elements whose difference exceeded the stored CAM range (their
+        exponential is exactly zero).
+    """
+
+    rows: int = 0
+    elements: int = 0
+    cam_sub_searches: int = 0
+    or_merges: int = 0
+    sub_passes: int = 0
+    register_writes: int = 0
+    exp_cam_searches: int = 0
+    lut_reads: int = 0
+    counter_increments: int = 0
+    vmm_passes: int = 0
+    divides: int = 0
+    cam_misses: int = 0
+
+    def __post_init__(self) -> None:
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if value < 0:
+                raise ValueError(f"{field.name} must be >= 0, got {value}")
+
+    def __add__(self, other: "AccessStats") -> "AccessStats":
+        if not isinstance(other, AccessStats):
+            return NotImplemented
+        return AccessStats(
+            **{
+                field.name: getattr(self, field.name) + getattr(other, field.name)
+                for field in fields(self)
+            }
+        )
+
+    def scaled(self, factor: int) -> "AccessStats":
+        """The stats of ``factor`` repetitions of this work."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return AccessStats(
+            **{field.name: getattr(self, field.name) * factor for field in fields(self)}
+        )
+
+    @classmethod
+    def for_block(
+        cls,
+        num_rows: int,
+        seq_len: int,
+        *,
+        lut_reads: int | None = None,
+        counter_increments: int | None = None,
+        cam_misses: int = 0,
+    ) -> "AccessStats":
+        """Stats for one ``(num_rows, seq_len)`` score block.
+
+        Without the keyword overrides the idealized per-row accounting is
+        used (every element reads the LUT and bumps a counter), which is what
+        the closed-form cost model of the paper's Table I assumes.  The
+        batched data path passes the observed counts instead.
+        """
+        if num_rows < 0:
+            raise ValueError(f"num_rows must be >= 0, got {num_rows}")
+        if seq_len < 1 and num_rows > 0:
+            raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+        elements = num_rows * seq_len
+        return cls(
+            rows=num_rows,
+            elements=elements,
+            cam_sub_searches=elements,
+            or_merges=elements,
+            sub_passes=elements,
+            register_writes=num_rows,
+            exp_cam_searches=elements,
+            lut_reads=elements if lut_reads is None else lut_reads,
+            counter_increments=elements if counter_increments is None else counter_increments,
+            vmm_passes=num_rows,
+            divides=elements,
+            cam_misses=cam_misses,
+        )

@@ -12,25 +12,41 @@ One RRAM crossbar is used in a time-multiplexed manner for two jobs:
    the input's match vector as wordline voltages and a negative voltage on
    the ``x_max`` row; the source-line output is then ``x_i - x_max``.
 
-The class simulates the functional behaviour exactly (including the optional
-CAM search-error injection) and accounts latency / energy / area of the
-512 x 18 crossbar, its matchline sense amplifiers and the OR-merge logic.
+Two functional paths are provided:
+
+* :meth:`CamSubCrossbar.process` — the cycle-accurate row path.  It
+  materializes the matchline vectors of every search (including the optional
+  CAM search-error injection, wired from
+  :attr:`~repro.core.config.SoftmaxEngineConfig.cam_search_error_rate`).
+* :meth:`CamSubCrossbar.process_batch` — the vectorized batch backend.  It
+  processes a whole ``(num_rows, seq_len)`` score block with zero
+  Python-level per-row loops via :meth:`repro.rram.cam.CAMCrossbar.
+  search_max_codes`; with error-free searches it is bit-identical to the row
+  path.
+
+Latency / energy / area of the 512 x 18 crossbar, its matchline sense
+amplifiers and the OR-merge logic are accounted per access and can be
+derived for any amount of work from an
+:class:`~repro.core.access_stats.AccessStats` value.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
 from repro.arch.area import CrossbarAreaModel
 from repro.circuits.components import OrGateArray, Register
 from repro.circuits.technology import DEFAULT_TECHNOLOGY
+from repro.core.access_stats import AccessStats
 from repro.core.config import SoftmaxEngineConfig
 from repro.rram.cam import CAMConfig, CAMCrossbar
+from repro.utils.fixed_point import FixedPointFormat
 from repro.utils.validation import as_1d_float_array
 
-__all__ = ["CamSubResult", "CamSubCrossbar"]
+__all__ = ["CamSubResult", "CamSubBatchResult", "CamSubCrossbar"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +55,9 @@ class CamSubResult:
 
     Attributes
     ----------
+    quantized_scores:
+        The inputs on the engine's fixed-point grid (computed once here and
+        reused by callers, e.g. the engine's row trace).
     max_value:
         The quantised ``x_max``.
     max_row:
@@ -49,10 +68,47 @@ class CamSubResult:
         The same magnitudes as integer codes (units of one LSB).
     """
 
+    quantized_scores: np.ndarray
     max_value: float
     max_row: int
     differences: np.ndarray
     difference_codes: np.ndarray
+
+
+class CamSubBatchResult:
+    """Output of one CAM/SUB pass over a ``(num_rows, seq_len)`` score block.
+
+    Per-row counterparts of :class:`CamSubResult`: ``max_values`` /
+    ``max_rows`` have shape ``(num_rows,)``, everything else keeps the block
+    shape.  ``quantized_scores`` and ``differences`` are dequantised lazily
+    from the integer codes (and cached) — the softmax hot path only consumes
+    ``difference_codes``, so the float views cost nothing unless read.
+    """
+
+    def __init__(
+        self,
+        fmt: FixedPointFormat,
+        max_codes: np.ndarray,
+        difference_codes: np.ndarray,
+    ) -> None:
+        self._fmt = fmt
+        self.max_rows = fmt.num_levels - 1 - max_codes
+        self.max_values = (max_codes - fmt.num_levels // 2) * fmt.resolution
+        self.difference_codes = difference_codes
+
+    @cached_property
+    def quantized_scores(self) -> np.ndarray:
+        """The inputs on the engine's fixed-point grid.
+
+        Recovered exactly from ``x_max - (x_max - x_i)``: all quantities are
+        exact multiples of the resolution, so no rounding is involved.
+        """
+        return self.max_values[:, None] - self.differences
+
+    @cached_property
+    def differences(self) -> np.ndarray:
+        """Non-negative magnitudes ``x_max - x_i`` on the quantisation grid."""
+        return self.difference_codes * self._fmt.resolution
 
 
 class CamSubCrossbar:
@@ -64,8 +120,8 @@ class CamSubCrossbar:
         cam_config = CAMConfig(
             rows=self.config.cam_sub_rows,
             bits=fmt.magnitude_bits,
-            search_error_rate=0.0,
-            seed=0,
+            search_error_rate=self.config.cam_search_error_rate,
+            seed=self.config.cam_seed,
         )
         self.cam = CAMCrossbar(cam_config)
         # store every representable level in DESCENDING order (Fig. 1):
@@ -91,8 +147,8 @@ class CamSubCrossbar:
         clipped = np.clip(arr, fmt.signed_min_value, fmt.signed_max_value)
         return np.rint(clipped / fmt.resolution) * fmt.resolution
 
-    def _score_to_row(self, quantized_scores: np.ndarray) -> np.ndarray:
-        """Map quantised scores to CAM row indices (descending storage order).
+    def _search_codes(self, quantized_scores: np.ndarray) -> np.ndarray:
+        """Offset-binary search codes of quantised scores (any shape).
 
         The CAM stores score *levels*; scores can be negative, so they are
         offset into the unsigned code space ``[0, num_levels)`` by biasing
@@ -102,30 +158,41 @@ class CamSubCrossbar:
         fmt = self.config.fmt
         bias_levels = fmt.num_levels // 2
         codes = np.rint(quantized_scores / fmt.resolution).astype(np.int64) + bias_levels
-        codes = np.clip(codes, 0, fmt.num_levels - 1)
+        return np.clip(codes, 0, fmt.num_levels - 1)
+
+    def _score_to_row(self, quantized_scores: np.ndarray) -> np.ndarray:
+        """Map quantised scores to CAM row indices (descending storage order)."""
         # row r stores code (num_levels - 1 - r)
-        return fmt.num_levels - 1 - codes
+        return self.config.fmt.num_levels - 1 - self._search_codes(quantized_scores)
 
     def process(self, scores: np.ndarray) -> CamSubResult:
-        """Run the CAM phase and the SUB phase over one score vector."""
+        """Run the CAM phase and the SUB phase over one score vector.
+
+        This is the cycle-accurate path: every search's matchline vector is
+        materialized (so the configured search-error rate can flip match
+        decisions) and the OR-merge picks the first hit.
+        """
         vector = as_1d_float_array(scores, "scores")
         if vector.size < 1:
             raise ValueError("score vector must not be empty")
         fmt = self.config.fmt
+        bias_levels = fmt.num_levels // 2
         quantized = self.quantize_scores(vector)
 
         # --- CAM phase: search each input, merge match vectors with ORs ----
-        bias_levels = fmt.num_levels // 2
-        search_codes = (
-            np.rint(quantized / fmt.resolution).astype(np.int64) + bias_levels
-        )
-        search_codes = np.clip(search_codes, 0, fmt.num_levels - 1)
-        matches = self.cam.search_many(search_codes)  # (n, rows)
+        matches = self.cam.search_many(self._search_codes(quantized))  # (n, rows)
         merged = np.any(matches, axis=0)
         hit_rows = np.flatnonzero(merged)
         if hit_rows.size == 0:
-            raise RuntimeError("CAM search produced no match for any input")
-        max_row = int(hit_rows[0])  # descending order: first hit is the max
+            if self.cam.config.search_error_rate > 0.0:
+                # every true match flipped off with no false positive — an
+                # all-zero merged vector makes the controller re-search, so
+                # the row resolves to the true maximum
+                max_row = int(self._score_to_row(quantized).min())
+            else:
+                raise RuntimeError("CAM search produced no match for any input")
+        else:
+            max_row = int(hit_rows[0])  # descending order: first hit is the max
         max_code = int(self.cam.stored_codes[max_row])
         max_value = (max_code - bias_levels) * fmt.resolution
 
@@ -133,9 +200,61 @@ class CamSubCrossbar:
         differences = np.clip(max_value - quantized, 0.0, None)
         difference_codes = np.rint(differences / fmt.resolution).astype(np.int64)
         return CamSubResult(
+            quantized_scores=quantized,
             max_value=max_value,
             max_row=max_row,
             differences=differences,
+            difference_codes=difference_codes,
+        )
+
+    def process_batch(self, scores: np.ndarray) -> CamSubBatchResult:
+        """Run the CAM and SUB phases over a ``(num_rows, seq_len)`` block.
+
+        Fully vectorized: the per-row maxima come from one batched
+        :meth:`~repro.rram.cam.CAMCrossbar.search_max_codes` call and the SUB
+        phase is a single broadcast subtraction.  Bit-identical to running
+        :meth:`process` row by row (search errors must be disabled — the CAM
+        raises otherwise).
+        """
+        block = np.asarray(scores, dtype=np.float64)
+        if block.ndim != 2:
+            raise ValueError(f"scores must be a 2D (num_rows, seq_len) block, got shape {block.shape}")
+        num_rows, seq_len = block.shape
+        if num_rows and seq_len < 1:
+            raise ValueError("score rows must not be empty")
+        fmt = self.config.fmt
+        bias_levels = fmt.num_levels // 2
+        resolution = fmt.resolution
+
+        # one pass each: scale, clip, round, offset into the code space (the
+        # clip/round work in-place on the scaled copy).  resolution is a
+        # power of two, so every step below is exact and the codes are
+        # bit-identical to quantize_scores followed by _search_codes.
+        scaled = block * (1.0 / resolution)
+        np.clip(
+            scaled,
+            fmt.signed_min_value / resolution,
+            fmt.signed_max_value / resolution,
+            out=scaled,
+        )
+        np.rint(scaled, out=scaled)
+        # codes fit comfortably in 32 bits (<= 2^18 levels), halving traffic
+        search_codes = scaled.astype(np.int32)
+        search_codes += bias_levels
+
+        # every code is a stored level by construction, so the batched CAM
+        # search collapses to one max per row
+        max_codes = self.cam.search_max_codes(search_codes, assume_hits=True)
+
+        # the SUB phase stays in the integer code domain: x_max >= x_i, so
+        # the magnitudes need no clipping and dequantise exactly (the
+        # subtraction reuses the code buffer — it is not needed afterwards)
+        difference_codes = np.subtract(
+            max_codes[:, None].astype(np.int32), search_codes, out=search_codes
+        )
+        return CamSubBatchResult(
+            fmt=fmt,
+            max_codes=max_codes,
             difference_codes=difference_codes,
         )
 
@@ -155,26 +274,40 @@ class CamSubCrossbar:
         representative_len = 128
         return self.row_energy_j(representative_len) / self.row_latency_s(representative_len)
 
-    def row_latency_s(self, seq_len: int) -> float:
-        """Latency of processing one score row of ``seq_len`` elements.
+    def energy_j_of(self, stats: AccessStats) -> float:
+        """Energy of the accesses recorded in ``stats``.
+
+        Searches and SUB passes both exercise the crossbar (the array is
+        time-multiplexed); OR merges are charged per element and the result
+        register per row.
+        """
+        search = stats.cam_sub_searches * self.cam.search_energy_j()
+        merge = stats.or_merges * self._or_gates.energy_per_op_j
+        subtract = stats.sub_passes * self.cam.search_energy_j()
+        register = stats.register_writes * self._result_register.energy_per_op_j
+        return search + merge + subtract + register
+
+    def latency_s_of(self, stats: AccessStats) -> float:
+        """Serial latency of the accesses recorded in ``stats``.
 
         The CAM phase searches the inputs one per cycle (all wordlines in
         parallel per input); the SUB phase likewise produces one difference
-        per cycle through the same time-multiplexed crossbar.
+        per cycle through the same time-multiplexed crossbar.  The OR merge
+        settles once per row.
         """
+        search = stats.cam_sub_searches * self.cam.search_latency_s()
+        merge = stats.register_writes * self._or_gates.latency_s
+        subtract = stats.sub_passes * self.cam.search_latency_s()
+        return search + merge + subtract
+
+    def row_latency_s(self, seq_len: int) -> float:
+        """Latency of processing one score row of ``seq_len`` elements."""
         if seq_len < 1:
             raise ValueError(f"seq_len must be >= 1, got {seq_len}")
-        search = seq_len * self.cam.search_latency_s()
-        merge = self._or_gates.latency_s
-        subtract = seq_len * self.cam.search_latency_s()
-        return search + merge + subtract
+        return self.latency_s_of(AccessStats.for_block(1, seq_len))
 
     def row_energy_j(self, seq_len: int) -> float:
         """Energy of processing one score row of ``seq_len`` elements."""
         if seq_len < 1:
             raise ValueError(f"seq_len must be >= 1, got {seq_len}")
-        search = seq_len * self.cam.search_energy_j()
-        merge = seq_len * self._or_gates.energy_per_op_j
-        subtract = seq_len * self.cam.search_energy_j()
-        register = self._result_register.energy_per_op_j
-        return search + merge + subtract + register
+        return self.energy_j_of(AccessStats.for_block(1, seq_len))

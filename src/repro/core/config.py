@@ -15,7 +15,7 @@ the corresponding :class:`~repro.utils.fixed_point.FixedPointFormat`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.rram.noise import IDEAL_NOISE, NoiseConfig
 from repro.utils.fixed_point import CNEWS_FORMAT, FixedPointFormat
@@ -51,6 +51,15 @@ class SoftmaxEngineConfig:
         length; 10 bits covers 1024).
     divider_bits:
         Width of the final normalisation divider.
+    cam_search_error_rate:
+        Probability that one CAM/SUB matchline search flips its decision
+        (sense-margin failures under device noise).  When non-zero the
+        engine simulates matchline vectors row by row; the vectorized batch
+        backend requires 0.  The exponential unit's CAM is kept ideal on the
+        functional path regardless — a flip there is equivalent to an analog
+        LUT/VMM perturbation, which :attr:`noise` already models.
+    cam_seed:
+        Seed of the CAM error-injection random stream.
     noise:
         RRAM non-idealities injected into the crossbars (ideal by default).
     """
@@ -62,6 +71,8 @@ class SoftmaxEngineConfig:
     lut_value_bits: int = 18
     counter_bits: int = 10
     divider_bits: int = 16
+    cam_search_error_rate: float = 0.0
+    cam_seed: int = 0
     noise: NoiseConfig = field(default_factory=lambda: IDEAL_NOISE)
 
     def __post_init__(self) -> None:
@@ -83,6 +94,11 @@ class SoftmaxEngineConfig:
             raise ValueError(f"counter_bits must be >= 4, got {self.counter_bits}")
         if self.divider_bits < 8:
             raise ValueError(f"divider_bits must be >= 8, got {self.divider_bits}")
+        if not 0.0 <= self.cam_search_error_rate <= 1.0:
+            raise ValueError(
+                "cam_search_error_rate must lie in [0, 1], "
+                f"got {self.cam_search_error_rate}"
+            )
 
     @property
     def cam_bits(self) -> int:
@@ -184,14 +200,5 @@ class STARConfig:
 
     def with_format(self, fmt: FixedPointFormat) -> "STARConfig":
         """A copy of this configuration using a different softmax precision."""
-        softmax = SoftmaxEngineConfig(
-            fmt=fmt,
-            cam_sub_rows=self.softmax.cam_sub_rows,
-            exp_rows=self.softmax.exp_rows,
-            lut_frac_bits=self.softmax.lut_frac_bits,
-            lut_value_bits=self.softmax.lut_value_bits,
-            counter_bits=self.softmax.counter_bits,
-            divider_bits=self.softmax.divider_bits,
-            noise=self.softmax.noise,
-        )
+        softmax = replace(self.softmax, fmt=fmt)
         return STARConfig(softmax=softmax, matmul=self.matmul, pipeline=self.pipeline)

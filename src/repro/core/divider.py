@@ -55,6 +55,50 @@ class DividerUnit:
         if denominator <= 0.0:
             return np.full_like(values, 1.0 / values.size)
         quotients = values / denominator
+        return self._truncate(quotients)
+
+    def divide_batch(
+        self,
+        numerators: np.ndarray,
+        denominators: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Row-wise quotients of a ``(num_rows, n)`` block.
+
+        Vectorized counterpart of :meth:`divide`: each row of ``numerators``
+        is divided by its entry of ``denominators``; rows with a zero (or
+        non-positive) denominator saturate to the uniform distribution.
+        Bit-identical to calling :meth:`divide` row by row.  ``out`` (which
+        may alias ``numerators``) receives the quotients when every
+        denominator is positive and no truncation is configured; callers own
+        the aliasing trade-off.
+        """
+        block = np.asarray(numerators, dtype=np.float64)
+        if block.ndim != 2:
+            raise ValueError(
+                f"numerators must be a 2D (num_rows, n) block, got shape {block.shape}"
+            )
+        denoms = np.asarray(denominators, dtype=np.float64).ravel()
+        if denoms.size != block.shape[0]:
+            raise ValueError(
+                f"expected {block.shape[0]} denominators, got {denoms.size}"
+            )
+        if block.shape[0] > 0 and block.shape[1] < 1:
+            raise ValueError("numerator rows must not be empty")
+        self.divide_count += block.size
+        if block.size == 0:
+            return block.copy()
+        positive = denoms > 0.0
+        if positive.all():
+            if out is not None and self.quotient_frac_bits == 0:
+                return np.divide(block, denoms[:, None], out=out)
+            return self._truncate(block / denoms[:, None])
+        safe = np.where(positive, denoms, 1.0)
+        quotients = self._truncate(block / safe[:, None])
+        # the saturated uniform output is not truncated, exactly as divide()
+        return np.where(positive[:, None], quotients, 1.0 / block.shape[1])
+
+    def _truncate(self, quotients: np.ndarray) -> np.ndarray:
         if self.quotient_frac_bits > 0:
             scale = float(1 << self.quotient_frac_bits)
             quotients = np.floor(quotients * scale) / scale

@@ -16,15 +16,30 @@ Three crossbars and a counter bank cooperate:
 With ideal devices the unit's numerics are exactly those of
 :class:`repro.nn.softmax_models.FixedPointSoftmax`; the noise configuration
 lets the E9 ablation perturb the LUT readout and the analog summation.
+
+Both :meth:`ExponentialUnit.process` (one row) and
+:meth:`ExponentialUnit.process_batch` (a whole code block) are functionally
+*pure* with ideal noise: the histogram is computed per call instead of
+accumulating in shared :class:`~repro.core.counter.CounterBank` registers,
+so concurrent calls on one unit cannot corrupt each other's numerics.  Two
+caveats: the debug tally ``cam.search_count`` is still bumped without
+synchronisation (concurrent callers may undercount it — the authoritative
+access accounting is the engine-level
+:class:`~repro.core.access_stats.AccessStats`), and with non-ideal noise
+the random stream is inherently stateful, so Monte-Carlo sweeps should use
+one unit per worker.  The counter bank and crossbar objects remain the
+cost/area models.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
 from repro.arch.area import CrossbarAreaModel
+from repro.core.access_stats import AccessStats
 from repro.core.config import SoftmaxEngineConfig
 from repro.core.counter import CounterBank
 from repro.rram.cam import CAMConfig, CAMCrossbar
@@ -32,7 +47,7 @@ from repro.rram.converters import ADC, DAC
 from repro.rram.lut import LUTConfig, LUTCrossbar, exponential_lut_entries
 from repro.rram.noise import NoiseModel
 
-__all__ = ["ExponentResult", "ExponentialUnit"]
+__all__ = ["ExponentResult", "ExponentBatchResult", "ExponentialUnit"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +73,42 @@ class ExponentResult:
     misses: int
 
 
+class ExponentBatchResult:
+    """Output of the exponential unit for a ``(num_rows, n)`` code block.
+
+    ``exponentials`` and ``histograms`` keep one row per input row;
+    ``denominators`` / ``misses`` are per-row vectors.  ``counted`` is the
+    total number of counter increments the block caused (elements landing on
+    a level with a non-zero LUT entry).  ``histograms`` is computed lazily
+    (and cached) from the codes unless the unit had to materialize it for
+    counter-saturation handling — the softmax hot path never reads it.
+    """
+
+    def __init__(
+        self,
+        unit: "ExponentialUnit",
+        codes: np.ndarray,
+        exponentials: np.ndarray,
+        denominators: np.ndarray,
+        misses: np.ndarray,
+        counted: int,
+        histograms: np.ndarray | None = None,
+    ) -> None:
+        self._unit = unit
+        self._codes = codes
+        self.exponentials = exponentials
+        self.denominators = denominators
+        self.misses = misses
+        self.counted = counted
+        if histograms is not None:
+            self.histograms = histograms
+
+    @cached_property
+    def histograms(self) -> np.ndarray:
+        """Saturating per-row counter histograms (matches per level)."""
+        return self._unit._histograms(self._codes)
+
+
 class ExponentialUnit:
     """Functional and cost model of the CAM + LUT + counter + VMM unit."""
 
@@ -66,8 +117,14 @@ class ExponentialUnit:
         cfg = self.config
         fmt = cfg.fmt
 
+        # The CAM search of this unit is modelled ideal on the functional
+        # path: a matchline flip here selects a neighbouring LUT row, which
+        # is indistinguishable from the analog LUT/VMM read perturbations
+        # that cfg.noise already injects, so only cfg.cam_search_error_rate
+        # of the CAM/SUB stage (where a flip moves x_max) is simulated
+        # explicitly.
         self.cam = CAMCrossbar(
-            CAMConfig(rows=cfg.exp_rows, bits=fmt.magnitude_bits, seed=1)
+            CAMConfig(rows=cfg.exp_rows, bits=fmt.magnitude_bits, seed=cfg.cam_seed + 1)
         )
         stored_levels = min(cfg.exp_rows, fmt.num_levels)
         self._stored_levels = stored_levels
@@ -83,6 +140,8 @@ class ExponentialUnit:
         arguments = -np.arange(stored_levels, dtype=np.float64) * fmt.resolution
         self._lut_values = exponential_lut_entries(arguments, cfg.lut_frac_bits)
         self.lut.program_values(self._lut_values)
+        # one trailing zero entry so a clipped gather maps CAM misses to 0.0
+        self._lut_padded = np.append(self._lut_values, 0.0)
 
         # Only levels whose LUT entry is non-zero need a counter: rows whose
         # exponential already rounds to zero contribute nothing to the
@@ -107,26 +166,68 @@ class ExponentialUnit:
         """The quantised exponential table (index = difference code)."""
         return self._lut_values.copy()
 
+    @property
+    def stored_levels(self) -> int:
+        """Number of difference codes the CAM/LUT pair stores."""
+        return self._stored_levels
+
+    @property
+    def active_levels(self) -> int:
+        """Levels with a non-zero LUT entry (the ones that own a counter)."""
+        return self._active_levels
+
+    def _validated_codes(self, difference_codes: np.ndarray, ndim: int) -> np.ndarray:
+        codes = np.asarray(difference_codes)
+        if not np.issubdtype(codes.dtype, np.integer):
+            codes = codes.astype(np.int64)
+        if ndim == 1:
+            codes = codes.ravel()
+        elif codes.ndim != 2:
+            raise ValueError(
+                f"difference_codes must be a 2D (num_rows, n) block, got shape {codes.shape}"
+            )
+        if codes.size and np.any(codes < 0):
+            raise ValueError("difference codes must be non-negative magnitudes")
+        return codes
+
+    def _lookup(self, codes: np.ndarray) -> np.ndarray:
+        """LUT exponentials for a code array of any shape (misses read 0.0).
+
+        A clipped gather: every out-of-range code lands on the padded zero
+        entry, exactly what a CAM miss reads out.
+        """
+        return self._lut_padded.take(codes, mode="clip")
+
+    def _perturbed(self, values: np.ndarray) -> np.ndarray:
+        """Analog read noise, skipping the defensive copy on the ideal path."""
+        if self.noise.config.read_noise_sigma > 0.0:
+            return self.noise.perturb_current(values)
+        return values
+
+    def _histograms(self, codes: np.ndarray) -> np.ndarray:
+        """Saturating per-row counter histograms of a ``(num_rows, n)`` block.
+
+        Pure computation of what the counter bank holds after the block:
+        matches on levels whose LUT entry is zero are never counted (they
+        would multiply a zero in the summation), and each counter saturates
+        at its width.  The searches themselves are accounted by the caller.
+        """
+        counts = self.cam.search_histograms(
+            codes, self.counters.num_counters, count=False
+        )
+        return np.minimum(counts, self.counters.max_count)
+
     def process(self, difference_codes: np.ndarray) -> ExponentResult:
         """Exponentials and denominator for one row of difference codes."""
-        codes = np.asarray(difference_codes, dtype=np.int64).ravel()
+        codes = self._validated_codes(difference_codes, ndim=1)
         if codes.size < 1:
             raise ValueError("difference_codes must not be empty")
-        if np.any(codes < 0):
-            raise ValueError("difference codes must be non-negative magnitudes")
 
-        hits = codes < self._stored_levels
-        exponentials = np.zeros(codes.size, dtype=np.float64)
-        exponentials[hits] = self._lut_values[codes[hits]]
         # analog LUT readout noise (zero in the ideal configuration)
-        exponentials = self.noise.perturb_current(exponentials)
+        exponentials = self.noise.perturb_current(self._lookup(codes))
 
-        # only matches on levels with a non-zero exponential are counted;
-        # everything else would multiply a zero LUT entry in the summation
-        counted = codes < self._active_levels
-        rows = np.where(counted, codes, -1)
-        self.counters.reset()
-        histogram = self.counters.accumulate_histogram(rows)
+        self.cam.search_count += codes.size
+        histogram = self._histograms(codes[None, :])[0]
 
         denominator = float(histogram @ self._lut_values[: self.counters.num_counters])
         denominator = float(self.noise.perturb_current(np.asarray([denominator]))[0])
@@ -135,7 +236,69 @@ class ExponentialUnit:
             exponentials=exponentials,
             denominator=denominator,
             histogram=histogram,
-            misses=int(np.count_nonzero(~hits)),
+            misses=int(np.count_nonzero(codes >= self._stored_levels)),
+        )
+
+    def process_batch(self, difference_codes: np.ndarray) -> ExponentBatchResult:
+        """Exponentials and denominators for a ``(num_rows, n)`` code block.
+
+        Fully vectorized — per-row histograms come from one offset
+        ``np.bincount`` (:meth:`repro.rram.cam.CAMCrossbar.search_histograms`)
+        and denominators from one multiply-sum.  Bit-identical to calling
+        :meth:`process` row by row under ideal noise: every intermediate is
+        an exact multiple of the LUT resolution, so summation order cannot
+        change the result.  Under non-ideal noise the perturbations are
+        drawn for the whole block at once (statistically equivalent, not
+        draw-for-draw identical).
+        """
+        codes = self._validated_codes(difference_codes, ndim=2)
+        num_rows, seq_len = codes.shape
+        if num_rows and seq_len < 1:
+            raise ValueError("difference_codes rows must not be empty")
+        if num_rows == 0:
+            return ExponentBatchResult(
+                unit=self,
+                codes=codes,
+                exponentials=np.zeros_like(codes, dtype=np.float64),
+                denominators=np.zeros(0, dtype=np.float64),
+                misses=np.zeros(0, dtype=np.int64),
+                counted=0,
+                histograms=np.zeros((0, self.counters.num_counters), dtype=np.int64),
+            )
+
+        raw = self._lookup(codes)
+        self.cam.search_count += codes.size
+        # stats without per-element bookkeeping: a non-zero readout is
+        # exactly an element that bumps a counter (code < active_levels)
+        if int(codes.max()) < self._stored_levels:
+            misses = np.zeros(num_rows, dtype=np.int64)
+        else:
+            misses = np.count_nonzero(codes >= self._stored_levels, axis=-1)
+        counted = int(np.count_nonzero(raw))
+
+        histograms: np.ndarray | None = None
+        if seq_len <= self.counters.max_count:
+            # no counter can saturate, so the VMM result equals the plain sum
+            # of the (clean) LUT readouts: every term is an exact multiple of
+            # 2^-m, making this bit-identical to the histogram @ LUT product
+            denominators = raw.sum(axis=-1)
+        else:
+            histograms = self._histograms(codes)
+            denominators = (
+                histograms * self._lut_values[None, : self.counters.num_counters]
+            ).sum(axis=-1)
+
+        exponentials = self._perturbed(raw)
+        denominators = self._perturbed(denominators)
+
+        return ExponentBatchResult(
+            unit=self,
+            codes=codes,
+            exponentials=exponentials,
+            denominators=denominators,
+            misses=misses,
+            counted=counted,
+            histograms=histograms,
         )
 
     # ------------------------------------------------------------------ #
@@ -185,17 +348,38 @@ class ExponentialUnit:
         adc = self._vmm_adc.energy_per_conversion_j
         return array + dacs + adc
 
+    def energy_j_of(self, stats: AccessStats) -> float:
+        """Energy of the accesses recorded in ``stats``."""
+        return (
+            stats.exp_cam_searches * self.cam.search_energy_j()
+            + stats.lut_reads * self.lut.read_energy_j()
+            + stats.counter_increments * self.counters.increment_energy_j()
+            + stats.vmm_passes * self.summation_energy_j()
+        )
+
+    def latency_s_of(self, stats: AccessStats) -> float:
+        """Serial latency of the accesses recorded in ``stats``.
+
+        Counter increments overlap the CAM searches, so only the search,
+        LUT-read and VMM-pass times appear.
+        """
+        return (
+            stats.exp_cam_searches * self.cam.search_latency_s()
+            + stats.lut_reads * self.lut.read_latency_s()
+            + stats.vmm_passes * self.summation_latency_s()
+        )
+
     def row_latency_s(self, seq_len: int) -> float:
         """Latency of the exponential stage for one row of ``seq_len`` elements."""
         if seq_len < 1:
             raise ValueError(f"seq_len must be >= 1, got {seq_len}")
-        return seq_len * self.element_latency_s() + self.summation_latency_s()
+        return self.latency_s_of(AccessStats.for_block(1, seq_len))
 
     def row_energy_j(self, seq_len: int) -> float:
         """Energy of the exponential stage for one row of ``seq_len`` elements."""
         if seq_len < 1:
             raise ValueError(f"seq_len must be >= 1, got {seq_len}")
-        return seq_len * self.element_energy_j() + self.summation_energy_j()
+        return self.energy_j_of(AccessStats.for_block(1, seq_len))
 
     def power_w(self) -> float:
         """Average power while continuously processing elements."""

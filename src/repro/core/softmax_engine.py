@@ -1,7 +1,7 @@
 """STAR's RRAM softmax engine: CAM/SUB + exponential unit + divider.
 
-This is the paper's central contribution.  The engine processes one softmax
-row (one row of the attention-score matrix) as follows:
+This is the paper's central contribution.  The engine processes softmax rows
+(rows of the attention-score matrix) as follows:
 
 1. the **CAM/SUB crossbar** quantises the scores, finds ``x_max`` by CAM
    search and produces the non-negative differences ``x_max - x_i``
@@ -12,10 +12,26 @@ row (one row of the attention-score matrix) as follows:
 3. the **divider** normalises each exponential by the denominator
    (:mod:`repro.core.divider`).
 
-With ideal devices the output is bit-identical to the functional
-:class:`repro.nn.softmax_models.FixedPointSoftmax` model, which is what the
-accuracy experiments use at scale; this class additionally accounts the
-area, power, latency and energy that Table I and Fig. 3 need.
+Two simulation backends share these stages:
+
+* the **batched backend** (:meth:`RRAMSoftmaxEngine.softmax_batch`) runs a
+  whole ``(num_rows, seq_len)`` score block in pure vectorized NumPy with no
+  Python-level per-row loop — this is what :meth:`RRAMSoftmaxEngine.softmax`
+  uses and what makes BERT-scale runs (millions of rows) tractable;
+* the **row backend** (:meth:`RRAMSoftmaxEngine.softmax_row_trace`)
+  materializes every matchline vector of one row, exposes all intermediates,
+  and is the only path that can inject CAM search errors
+  (``config.cam_search_error_rate``); :meth:`softmax` falls back to it
+  automatically when search errors are enabled.
+
+With ideal devices both backends are bit-identical to each other and to the
+functional :class:`repro.nn.softmax_models.FixedPointSoftmax` model.
+
+Cost accounting no longer rides the data path: every functional call
+accumulates an :class:`~repro.core.access_stats.AccessStats` value
+(``engine.access_stats``), and area / power / latency / energy and the
+Table I ledger are derived analytically from stats via
+:meth:`energy_j_of` / :meth:`latency_s_of` / :meth:`ledger_of`.
 """
 
 from __future__ import annotations
@@ -25,6 +41,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.circuits.energy import EnergyLedger
+from repro.core.access_stats import AccessStats
 from repro.core.cam_sub import CamSubCrossbar
 from repro.core.config import SoftmaxEngineConfig
 from repro.core.divider import DividerUnit
@@ -58,6 +75,7 @@ class RRAMSoftmaxEngine:
         self.exponential = ExponentialUnit(self.config)
         self.divider = DividerUnit(bits=self.config.divider_bits)
         self.rows_processed = 0
+        self.access_stats = AccessStats()
 
     @property
     def fmt(self) -> FixedPointFormat:
@@ -68,7 +86,7 @@ class RRAMSoftmaxEngine:
     # functional behaviour
     # ------------------------------------------------------------------ #
     def softmax_row(self, scores: np.ndarray) -> np.ndarray:
-        """Softmax of a single score vector."""
+        """Softmax of a single score vector (cycle-accurate row backend)."""
         return self.softmax_row_trace(scores).probabilities
 
     def softmax_row_trace(self, scores: np.ndarray) -> SoftmaxRowTrace:
@@ -78,8 +96,20 @@ class RRAMSoftmaxEngine:
         exp_result = self.exponential.process(cam_result.difference_codes)
         probabilities = self.divider.divide(exp_result.exponentials, exp_result.denominator)
         self.rows_processed += 1
+        self.access_stats += AccessStats.for_block(
+            1,
+            vector.size,
+            lut_reads=vector.size - exp_result.misses,
+            counter_increments=int(
+                np.count_nonzero(
+                    cam_result.difference_codes < self.exponential.active_levels
+                )
+            ),
+            cam_misses=exp_result.misses,
+        )
         return SoftmaxRowTrace(
-            quantized_scores=self.cam_sub.quantize_scores(vector),
+            # quantisation already happened inside the CAM/SUB pass; reuse it
+            quantized_scores=cam_result.quantized_scores,
             max_value=cam_result.max_value,
             differences=cam_result.differences,
             exponentials=exp_result.exponentials,
@@ -87,14 +117,63 @@ class RRAMSoftmaxEngine:
             probabilities=probabilities,
         )
 
+    def softmax_batch(self, scores: np.ndarray) -> np.ndarray:
+        """Softmax of every row of a ``(num_rows, seq_len)`` score block.
+
+        The vectorized batch backend: one CAM/SUB pass, one exponential-unit
+        pass and one divider pass over the whole block, with zero Python
+        per-row loops.  Bit-identical to the row backend (and to
+        :class:`~repro.nn.softmax_models.FixedPointSoftmax`) under ideal
+        devices; requires ``cam_search_error_rate == 0`` — matchline flips
+        can only be simulated by the row backend.
+        """
+        block = np.asarray(scores, dtype=np.float64)
+        if block.ndim != 2:
+            raise ValueError(
+                f"scores must be a 2D (num_rows, seq_len) block, got shape {block.shape}"
+            )
+        num_rows, seq_len = block.shape
+        if num_rows == 0:
+            return block.copy()
+        if seq_len < 1:
+            raise ValueError("score rows must not be empty")
+
+        cam_result = self.cam_sub.process_batch(block)
+        exp_result = self.exponential.process_batch(cam_result.difference_codes)
+        # the exponentials buffer is private to this call, so the divider may
+        # normalise it in place
+        probabilities = self.divider.divide_batch(
+            exp_result.exponentials, exp_result.denominators, out=exp_result.exponentials
+        )
+
+        misses = int(exp_result.misses.sum())
+        self.rows_processed += num_rows
+        self.access_stats += AccessStats.for_block(
+            num_rows,
+            seq_len,
+            lut_reads=num_rows * seq_len - misses,
+            counter_increments=exp_result.counted,
+            cam_misses=misses,
+        )
+        return probabilities
+
     def softmax(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
-        """Softmax along ``axis`` of an arbitrary-rank array (row by row)."""
+        """Softmax along ``axis`` of an arbitrary-rank array.
+
+        Flattens every other axis into a batch and dispatches to the
+        vectorized :meth:`softmax_batch` backend; only when CAM search
+        errors are configured does it fall back to the row-by-row
+        cycle-accurate path (error injection needs real matchline vectors).
+        """
         arr = np.asarray(x, dtype=np.float64)
         moved = np.moveaxis(arr, axis, -1)
         flat = moved.reshape(-1, moved.shape[-1])
-        out = np.empty_like(flat)
-        for i in range(flat.shape[0]):
-            out[i] = self.softmax_row(flat[i])
+        if self.config.cam_search_error_rate > 0.0:
+            out = np.empty_like(flat)
+            for i in range(flat.shape[0]):
+                out[i] = self.softmax_row(flat[i])
+        else:
+            out = self.softmax_batch(flat)
         return np.moveaxis(out.reshape(moved.shape), -1, axis)
 
     def __call__(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -102,7 +181,7 @@ class RRAMSoftmaxEngine:
         return self.softmax(x, axis=axis)
 
     # ------------------------------------------------------------------ #
-    # costs
+    # costs (derived analytically from access statistics)
     # ------------------------------------------------------------------ #
     def area_um2(self) -> float:
         """Total engine area: both crossbar groups plus the divider."""
@@ -116,34 +195,85 @@ class RRAMSoftmaxEngine:
         """Total engine area in mm^2."""
         return self.area_um2() * 1e-6
 
-    def row_latency_s(self, seq_len: int, parallel_dividers: int = 4) -> float:
-        """Latency of one softmax row of ``seq_len`` elements.
+    def stats_for(self, num_rows: int, seq_len: int) -> AccessStats:
+        """Idealized access statistics of a ``num_rows x seq_len`` block.
+
+        Uses the closed-form per-row accounting of the paper's cost model
+        (every element reads the LUT and bumps a counter); the live
+        ``access_stats`` of a functional run additionally reflects observed
+        CAM misses.
+        """
+        if num_rows < 1:
+            raise ValueError(f"num_rows must be >= 1, got {num_rows}")
+        if seq_len < 1:
+            raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+        return AccessStats.for_block(num_rows, seq_len)
+
+    def energy_j_of(self, stats: AccessStats) -> float:
+        """Total energy of the accesses recorded in ``stats``."""
+        return (
+            self.cam_sub.energy_j_of(stats)
+            + self.exponential.energy_j_of(stats)
+            + stats.divides * self.divider.divide_energy_j()
+        )
+
+    def latency_s_of(self, stats: AccessStats, parallel_dividers: int = 4) -> float:
+        """Latency of the accesses in ``stats`` on one engine (serial rows).
 
         The divider stage is provisioned with a small number of parallel
         sequential dividers; divisions of one row overlap with the CAM/LUT
         processing of the next, so only the residual (non-overlapped) share
         is charged here.
         """
-        if seq_len < 1:
-            raise ValueError(f"seq_len must be >= 1, got {seq_len}")
         if parallel_dividers < 1:
             raise ValueError(f"parallel_dividers must be >= 1, got {parallel_dividers}")
-        cam_sub = self.cam_sub.row_latency_s(seq_len)
-        exponent = self.exponential.row_latency_s(seq_len)
-        divide_passes = -(-seq_len // parallel_dividers)
+        cam_sub = self.cam_sub.latency_s_of(stats)
+        exponent = self.exponential.latency_s_of(stats)
+        divide_passes = -(-stats.divides // parallel_dividers)
         divide = divide_passes * self.divider.divide_latency_s()
         overlap = min(divide, cam_sub + exponent)
         return cam_sub + exponent + divide - 0.5 * overlap
 
+    def ledger_of(self, stats: AccessStats) -> EnergyLedger:
+        """Per-component ledger of the accesses in ``stats`` (Table I shape)."""
+        ledger = EnergyLedger()
+        ledger.record(
+            "CAM/SUB crossbar",
+            energy_j=self.cam_sub.energy_j_of(stats),
+            latency_s=self.cam_sub.latency_s_of(stats),
+        )
+        ledger.record_area("CAM/SUB crossbar", self.cam_sub.area_um2())
+        ledger.record(
+            "exponential unit (CAM+LUT+VMM+counters)",
+            energy_j=self.exponential.energy_j_of(stats),
+            latency_s=self.exponential.latency_s_of(stats),
+        )
+        ledger.record_area(
+            "exponential unit (CAM+LUT+VMM+counters)", self.exponential.area_um2()
+        )
+        ledger.record(
+            "divider",
+            energy_j=stats.divides * self.divider.divide_energy_j(),
+            latency_s=stats.divides * self.divider.divide_latency_s(),
+        )
+        ledger.record_area("divider", self.divider.area_um2())
+        return ledger
+
+    def row_latency_s(self, seq_len: int, parallel_dividers: int = 4) -> float:
+        """Latency of one softmax row of ``seq_len`` elements."""
+        return self.latency_s_of(self.stats_for(1, seq_len), parallel_dividers)
+
     def row_energy_j(self, seq_len: int) -> float:
         """Energy of one softmax row of ``seq_len`` elements."""
-        if seq_len < 1:
-            raise ValueError(f"seq_len must be >= 1, got {seq_len}")
-        return (
-            self.cam_sub.row_energy_j(seq_len)
-            + self.exponential.row_energy_j(seq_len)
-            + seq_len * self.divider.divide_energy_j()
-        )
+        return self.energy_j_of(self.stats_for(1, seq_len))
+
+    def batch_latency_s(self, num_rows: int, seq_len: int) -> float:
+        """Modeled latency of a score block on one serially-fed engine."""
+        return self.latency_s_of(self.stats_for(num_rows, seq_len))
+
+    def batch_energy_j(self, num_rows: int, seq_len: int) -> float:
+        """Modeled energy of a score block."""
+        return self.energy_j_of(self.stats_for(num_rows, seq_len))
 
     def power_w(self, seq_len: int = 128) -> float:
         """Average power while continuously processing rows of ``seq_len``."""
@@ -156,30 +286,7 @@ class RRAMSoftmaxEngine:
 
     def row_ledger(self, seq_len: int) -> EnergyLedger:
         """Per-component ledger for one softmax row (used by Table I)."""
-        if seq_len < 1:
-            raise ValueError(f"seq_len must be >= 1, got {seq_len}")
-        ledger = EnergyLedger()
-        ledger.record(
-            "CAM/SUB crossbar",
-            energy_j=self.cam_sub.row_energy_j(seq_len),
-            latency_s=self.cam_sub.row_latency_s(seq_len),
-        )
-        ledger.record_area("CAM/SUB crossbar", self.cam_sub.area_um2())
-        ledger.record(
-            "exponential unit (CAM+LUT+VMM+counters)",
-            energy_j=self.exponential.row_energy_j(seq_len),
-            latency_s=self.exponential.row_latency_s(seq_len),
-        )
-        ledger.record_area(
-            "exponential unit (CAM+LUT+VMM+counters)", self.exponential.area_um2()
-        )
-        ledger.record(
-            "divider",
-            energy_j=seq_len * self.divider.divide_energy_j(),
-            latency_s=seq_len * self.divider.divide_latency_s(),
-        )
-        ledger.record_area("divider", self.divider.area_um2())
-        return ledger
+        return self.ledger_of(self.stats_for(1, seq_len))
 
     def throughput_rows_per_s(self, seq_len: int = 128) -> float:
         """Softmax rows per second at full utilisation."""

@@ -6,6 +6,12 @@ swap :class:`~repro.nn.softmax_models.ReferenceSoftmax` for
 :class:`~repro.nn.softmax_models.Base2Softmax` (Softermax) without touching the rest
 of the encoder, and the attention-score hooks expose the raw ``QK^T/sqrt(d)``
 scores that the bit-width analysis of Section II consumes.
+
+The cycle-accurate :class:`~repro.core.softmax_engine.RRAMSoftmaxEngine`
+plugs in the same way: its ``__call__`` flattens the whole
+``(batch, heads, seq, seq)`` score tensor into one block for the vectorized
+batch backend, so running the *engine* (not just the functional model)
+inside full BERT-base inference is practical at every sequence length.
 """
 
 from __future__ import annotations
@@ -69,7 +75,10 @@ class MultiHeadAttention:
         """Forward pass; ``x`` is ``(batch, seq_len, hidden)``.
 
         The raw scores and the post-softmax weights of the call are kept on
-        ``last_scores`` / ``last_weights`` for the analysis code.
+        ``last_scores`` / ``last_weights`` for the analysis code.  The
+        softmax callable receives the full 4-D score tensor, so engine-backed
+        softmax implementations process all ``batch * heads * seq`` rows in
+        one vectorized batch.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 3 or x.shape[-1] != self.hidden:

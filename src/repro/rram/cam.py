@@ -95,6 +95,8 @@ class CAMCrossbar:
         self._rng = np.random.default_rng(self.config.seed)
         self._stored_codes: np.ndarray | None = None
         self._stored_bits: np.ndarray | None = None
+        self._stored_mask: np.ndarray | None = None
+        self._contiguous_count: int | None = None
         self.search_count = 0
 
     # ------------------------------------------------------------------ #
@@ -134,6 +136,13 @@ class CAMCrossbar:
         # expand to a bits matrix once so searches are cheap
         bit_positions = np.arange(cfg.bits, dtype=np.int64)
         self._stored_bits = ((arr[:, None] >> bit_positions[None, :]) & 1).astype(np.int8)
+        # membership table for the batched (analytic) search path
+        self._stored_mask = np.zeros(cfg.capacity, dtype=bool)
+        self._stored_mask[arr] = True
+        # both STAR CAMs store the contiguous code set {0..k-1}, which lets
+        # the batched search skip the membership gather entirely
+        count = int(arr.size)
+        self._contiguous_count = count if bool(self._stored_mask[:count].all()) else None
 
     # ------------------------------------------------------------------ #
     # search
@@ -166,6 +175,105 @@ class CAMCrossbar:
         matches = self._inject_errors(matches)
         self.search_count += arr.size
         return matches
+
+    # ------------------------------------------------------------------ #
+    # batched (analytic) search
+    # ------------------------------------------------------------------ #
+    def _require_error_free(self, name: str) -> None:
+        """The analytic batched search cannot model matchline flips."""
+        if self.config.search_error_rate > 0.0:
+            raise RuntimeError(
+                f"{name} requires search_error_rate == 0; searches with error "
+                "injection must simulate matchline vectors via search/search_many"
+            )
+
+    def _batched_queries(self, queries: np.ndarray, name: str) -> np.ndarray:
+        if not self.is_programmed:
+            raise RuntimeError("CAM must be programmed before searching")
+        self._require_error_free(name)
+        block = np.asarray(queries, dtype=np.int64)
+        if block.ndim != 2:
+            raise ValueError(f"{name} expects a 2D (num_rows, n) query block")
+        if block.size and np.any(block < 0):
+            raise ValueError("queries must be non-negative codes")
+        return block
+
+    def search_max_codes(self, queries: np.ndarray, *, assume_hits: bool = False) -> np.ndarray:
+        """Largest stored code matched per row of a ``(num_rows, n)`` block.
+
+        Equivalent to searching every query of a row, OR-merging the match
+        vectors and picking the best hit — but computed with one ``np.max``
+        instead of materializing ``n x rows`` match matrices.  Queries at or
+        beyond ``capacity`` never match (their codeword does not fit the
+        search lines); rows where nothing matched return ``-1``.
+
+        With ``assume_hits`` the caller guarantees every query matches a
+        stored codeword (true for the CAM/SUB crossbar, which stores every
+        representable level), so validation and miss masking are skipped and
+        the search collapses to one ``np.max`` over the block.
+        """
+        if assume_hits:
+            self._require_error_free("search_max_codes")
+            block = np.asarray(queries)
+            self.search_count += block.size
+            return block.max(axis=-1)
+        block = self._batched_queries(queries, "search_max_codes")
+        if block.size == 0:
+            return np.full(block.shape[0], -1, dtype=np.int64)
+        self.search_count += block.size
+        contiguous = self._contiguous_count
+        if contiguous is not None:
+            # stored set is {0..contiguous-1}: a query matches iff below it
+            return np.where(block < contiguous, block, np.int64(-1)).max(axis=-1)
+        safe = np.minimum(block, self.config.capacity - 1)
+        hit = self._stored_mask[safe] & (block < self.config.capacity)
+        return np.where(hit, block, -1).max(axis=-1)
+
+    def search_histograms(
+        self, queries: np.ndarray, num_codes: int, *, count: bool = True
+    ) -> np.ndarray:
+        """Per-row histogram of matched codes below ``num_codes``.
+
+        For each row of a ``(num_rows, n)`` query block, counts how many
+        queries matched each stored code in ``[0, num_codes)`` — exactly the
+        counter-bank state after the row's searches — using one offset
+        ``np.bincount`` over the whole block.  Pass ``count=False`` when the
+        histogram is a derived view of searches already accounted elsewhere.
+        """
+        if num_codes < 1:
+            raise ValueError(f"num_codes must be >= 1, got {num_codes}")
+        block = self._batched_queries(queries, "search_histograms")
+        num_rows = block.shape[0]
+        if block.size == 0:
+            return np.zeros((num_rows, num_codes), dtype=np.int64)
+        if count:
+            self.search_count += block.size
+        contiguous = self._contiguous_count
+        if contiguous is not None:
+            # stored set is {0..contiguous-1}: fold everything not counted
+            # (misses and codes beyond num_codes) into one sentinel bucket and
+            # histogram the whole block with a single offset bincount
+            cutoff = min(num_codes, contiguous)
+            idx = np.minimum(block, cutoff)
+            idx += np.arange(num_rows, dtype=np.int64)[:, None] * (cutoff + 1)
+            counts = np.bincount(idx.ravel(), minlength=num_rows * (cutoff + 1))
+            counts = counts.reshape(num_rows, cutoff + 1)[:, :cutoff]
+            if cutoff == num_codes:
+                return counts
+            padded = np.zeros((num_rows, num_codes), dtype=counts.dtype)
+            padded[:, :cutoff] = counts
+            return padded
+        safe = np.minimum(block, self.config.capacity - 1)
+        # queries at or beyond capacity can never match, even when num_codes
+        # exceeds the code space
+        counted = self._stored_mask[safe] & (block < min(num_codes, self.config.capacity))
+        row_index = np.broadcast_to(
+            np.arange(num_rows, dtype=np.int64)[:, None], block.shape
+        )
+        flat = row_index[counted] * num_codes + block[counted]
+        return np.bincount(flat, minlength=num_rows * num_codes).reshape(
+            num_rows, num_codes
+        )
 
     def match_index(self, query: int) -> int:
         """Row index storing ``query``; -1 when no row matches."""

@@ -1,0 +1,322 @@
+"""Tests for the vectorized batched simulation backend of the softmax engine.
+
+The contract under test: the batch backend is **bit-identical**
+(``np.array_equal``) to the cycle-accurate row-by-row path and to the
+functional :class:`~repro.nn.softmax_models.FixedPointSoftmax` model across
+all three dataset formats, including CAM-miss rows and the
+all-zero-denominator uniform fallback — while never mutating shared state on
+the hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.access_stats import AccessStats
+from repro.core.config import SoftmaxEngineConfig
+from repro.core.divider import DividerUnit
+from repro.core.exponent import ExponentialUnit
+from repro.core.softmax_engine import RRAMSoftmaxEngine
+from repro.nn.softmax_models import FixedPointSoftmax
+from repro.rram.cam import CAMConfig, CAMCrossbar
+from repro.rram.noise import NoiseConfig
+from repro.utils.fixed_point import CNEWS_FORMAT, COLA_FORMAT, MRPC_FORMAT
+
+ALL_FORMATS = {"CNEWS": CNEWS_FORMAT, "MRPC": MRPC_FORMAT, "CoLA": COLA_FORMAT}
+
+
+def _row_by_row(engine: RRAMSoftmaxEngine, block: np.ndarray) -> np.ndarray:
+    return np.stack([engine.softmax_row(row) for row in block])
+
+
+class TestBitIdentity:
+    """Batched backend == row backend == functional model, bit for bit."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_FORMATS))
+    def test_identity_across_dataset_formats(self, name, rng):
+        fmt = ALL_FORMATS[name]
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=fmt))
+        # spread beyond the representable range: exercises clipping and, for
+        # MRPC (512 levels > 256 stored), CAM-miss rows
+        block = rng.uniform(-80.0, 80.0, size=(48, 96))
+        batched = engine.softmax_batch(block)
+        np.testing.assert_array_equal(batched, _row_by_row(engine, block))
+        np.testing.assert_array_equal(batched, FixedPointSoftmax(fmt)(block))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        num_rows=st.integers(min_value=1, max_value=24),
+        seq_len=st.integers(min_value=1, max_value=40),
+        name=st.sampled_from(sorted(ALL_FORMATS)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_identity_property(self, seed, num_rows, seq_len, name):
+        fmt = ALL_FORMATS[name]
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=fmt))
+        rng = np.random.default_rng(seed)
+        block = rng.uniform(-90.0, 90.0, size=(num_rows, seq_len))
+        batched = engine.softmax_batch(block)
+        np.testing.assert_array_equal(batched, _row_by_row(engine, block))
+        np.testing.assert_array_equal(batched, FixedPointSoftmax(fmt)(block))
+
+    def test_cam_miss_rows_are_exact_zero(self, rng):
+        # MRPC: 512 representable levels but only 256 stored -> misses exist
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=MRPC_FORMAT))
+        block = np.array([[31.0, -32.0, -31.875, 30.0]])  # diff codes > 255
+        batched = engine.softmax_batch(block)
+        np.testing.assert_array_equal(batched, _row_by_row(engine, block))
+        assert engine.access_stats.cam_misses > 0
+        assert batched[0, 1] == 0.0  # missed element reads an exact zero
+
+    def test_identity_under_counter_saturation(self, rng):
+        # 4-bit counters saturate at 15; a 40-element row overflows them
+        config = SoftmaxEngineConfig(fmt=CNEWS_FORMAT, counter_bits=4)
+        engine = RRAMSoftmaxEngine(config)
+        block = rng.uniform(-5.0, 5.0, size=(6, 40))
+        np.testing.assert_array_equal(
+            engine.softmax_batch(block), _row_by_row(engine, block)
+        )
+
+    def test_softmax_dispatches_to_batch_for_any_rank(self, rng):
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        scores = rng.normal(0, 8, size=(2, 3, 5, 16))
+        probs = engine.softmax(scores)
+        np.testing.assert_array_equal(probs, FixedPointSoftmax(CNEWS_FORMAT)(scores))
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_empty_batch(self):
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        out = engine.softmax_batch(np.empty((0, 7)))
+        assert out.shape == (0, 7)
+
+    def test_invalid_batches_rejected(self):
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        with pytest.raises(ValueError):
+            engine.softmax_batch(np.zeros(4))  # 1D
+        with pytest.raises(ValueError):
+            engine.softmax_batch(np.zeros((3, 0)))  # empty rows
+
+
+class TestUniformFallback:
+    """The all-zero-denominator saturation must match the row path exactly."""
+
+    def test_all_miss_rows_give_uniform(self):
+        # fed directly with out-of-range codes, every exponential is zero and
+        # the denominator is zero -> the divider saturates to uniform
+        unit = ExponentialUnit(SoftmaxEngineConfig(fmt=MRPC_FORMAT))
+        divider = DividerUnit()
+        codes = np.array([[300, 400, 500], [0, 1, 2]])
+        result = unit.process_batch(codes)
+        assert result.denominators[0] == 0.0
+        probs = divider.divide_batch(result.exponentials, result.denominators)
+        row0 = divider.divide(result.exponentials[0], float(result.denominators[0]))
+        row1 = divider.divide(result.exponentials[1], float(result.denominators[1]))
+        np.testing.assert_array_equal(probs, np.stack([row0, row1]))
+        np.testing.assert_array_equal(probs[0], np.full(3, 1.0 / 3.0))
+
+    def test_divide_batch_matches_divide_rows(self, rng):
+        divider = DividerUnit(quotient_frac_bits=6)
+        block = rng.uniform(0, 1, size=(8, 16))
+        denoms = rng.uniform(0.5, 4.0, size=8)
+        denoms[2] = 0.0
+        denoms[5] = -1.0
+        batched = divider.divide_batch(block, denoms)
+        rows = np.stack([divider.divide(block[i], denoms[i]) for i in range(8)])
+        np.testing.assert_array_equal(batched, rows)
+
+    def test_divide_batch_validates_shapes(self):
+        divider = DividerUnit()
+        with pytest.raises(ValueError):
+            divider.divide_batch(np.zeros(4), np.ones(4))
+        with pytest.raises(ValueError):
+            divider.divide_batch(np.zeros((2, 4)), np.ones(3))
+        with pytest.raises(ValueError):
+            divider.divide_batch(np.zeros((5, 0)), np.zeros(5))  # empty rows
+        assert divider.divide_batch(np.zeros((0, 4)), np.zeros(0)).shape == (0, 4)
+
+
+class TestBatchedCamSearch:
+    """CAMCrossbar.search_max_codes / search_histograms semantics."""
+
+    def test_max_codes_match_looped_searches(self, rng):
+        cam = CAMCrossbar(CAMConfig(rows=32, bits=6))
+        cam.program_codes(np.arange(20))
+        block = rng.integers(0, 40, size=(10, 12))
+        fast = cam.search_max_codes(block)
+        slow = []
+        for row in block:
+            hits = [int(q) for q in row if cam.match_index(int(q)) >= 0]
+            slow.append(max(hits) if hits else -1)
+        np.testing.assert_array_equal(fast, np.asarray(slow))
+
+    def test_non_contiguous_storage(self):
+        cam = CAMCrossbar(CAMConfig(rows=8, bits=5))
+        cam.program_codes(np.array([3, 9, 17]))
+        block = np.array([[1, 2, 4], [9, 3, 31], [17, 18, 19]])
+        np.testing.assert_array_equal(cam.search_max_codes(block), [-1, 9, 17])
+        hist = cam.search_histograms(block, 10)
+        assert hist[1, 9] == 1 and hist[1, 3] == 1 and hist[1].sum() == 2
+        assert hist[0].sum() == 0  # nothing stored matches row 0
+
+    def test_histograms_match_counterbank_semantics(self, rng):
+        unit = ExponentialUnit(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        codes = rng.integers(0, 60, size=(5, 64))
+        batched = unit.process_batch(codes).histograms
+        rows = np.stack([unit.process(codes[i]).histogram for i in range(5)])
+        np.testing.assert_array_equal(batched, rows)
+
+    def test_histograms_never_count_out_of_capacity_queries(self):
+        # regression: with num_codes beyond the code space, a query >= capacity
+        # must not clamp onto a stored code and be counted as a match
+        cam = CAMCrossbar(CAMConfig(rows=4, bits=3))
+        cam.program_codes(np.array([0, 2, 5, 7]))  # capacity 8, code 7 stored
+        hist = cam.search_histograms(np.array([[9, 7, 2]]), num_codes=12)
+        assert hist[0, 9] == 0
+        assert hist[0, 7] == 1 and hist[0, 2] == 1
+        np.testing.assert_array_equal(cam.search_max_codes(np.array([[9, 1]])), [-1])
+
+    def test_batched_search_refuses_error_injection(self):
+        cam = CAMCrossbar(CAMConfig(rows=8, bits=3, search_error_rate=0.1))
+        cam.program_codes(np.arange(8))
+        with pytest.raises(RuntimeError):
+            cam.search_max_codes(np.zeros((1, 4), dtype=np.int64))
+        with pytest.raises(RuntimeError):
+            cam.search_histograms(np.zeros((1, 4), dtype=np.int64), 8)
+
+
+class TestSearchErrorWiring:
+    """config.cam_search_error_rate reaches the CAM/SUB stage."""
+
+    def test_error_rate_propagates_to_cam_sub(self):
+        config = SoftmaxEngineConfig(fmt=CNEWS_FORMAT, cam_search_error_rate=0.05, cam_seed=7)
+        engine = RRAMSoftmaxEngine(config)
+        assert engine.cam_sub.cam.config.search_error_rate == 0.05
+        assert engine.cam_sub.cam.config.seed == 7
+        # the exponential unit's CAM stays ideal on the functional path
+        assert engine.exponential.cam.config.search_error_rate == 0.0
+
+    def test_engine_falls_back_to_row_path_under_search_errors(self, rng):
+        config = SoftmaxEngineConfig(fmt=CNEWS_FORMAT, cam_search_error_rate=0.2, cam_seed=3)
+        noisy = RRAMSoftmaxEngine(config)
+        ideal = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        block = rng.uniform(-20, 20, size=(8, 24))
+        noisy_out = noisy.softmax(block)  # must not raise: row-path fallback
+        assert noisy_out.shape == block.shape
+        assert not np.array_equal(noisy_out, ideal.softmax(block))
+        assert noisy.rows_processed == 8
+
+    def test_all_flipped_row_resolves_to_true_maximum(self):
+        # regression: with length-1 rows an injected flip can clear every
+        # matchline; the controller re-search must recover the true max
+        # instead of raising mid-sweep
+        config = SoftmaxEngineConfig(fmt=CNEWS_FORMAT, cam_search_error_rate=1e-3, cam_seed=0)
+        engine = RRAMSoftmaxEngine(config)
+        for value in np.linspace(-20, 20, 200):
+            probs = engine.softmax_row(np.array([value]))
+            np.testing.assert_array_equal(probs, [1.0])
+
+    def test_invalid_error_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SoftmaxEngineConfig(cam_search_error_rate=1.5)
+
+
+class TestHotPathPurity:
+    """process/process_batch leave no shared state behind (ideal devices)."""
+
+    def test_exponential_unit_is_repeatable(self, rng):
+        unit = ExponentialUnit(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        codes = rng.integers(0, 50, size=64)
+        first = unit.process(codes)
+        second = unit.process(codes)
+        np.testing.assert_array_equal(first.exponentials, second.exponentials)
+        assert first.denominator == second.denominator
+        np.testing.assert_array_equal(first.histogram, second.histogram)
+
+    def test_counterbank_is_not_mutated(self, rng):
+        unit = ExponentialUnit(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        unit.process(rng.integers(0, 50, size=64))
+        unit.process_batch(rng.integers(0, 50, size=(4, 64)))
+        assert unit.counters.values.sum() == 0
+        assert unit.counters.increment_count == 0
+
+    def test_interleaved_row_and_batch_results_agree(self, rng):
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        block = rng.uniform(-30, 30, size=(6, 32))
+        interleaved = []
+        for i in range(6):
+            interleaved.append(engine.softmax_row(block[i]))
+            engine.softmax_batch(block)  # must not disturb subsequent rows
+        np.testing.assert_array_equal(np.stack(interleaved), engine.softmax_batch(block))
+
+
+class TestAccessStats:
+    def test_block_stats_accumulate(self, rng):
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        block = rng.uniform(-30, 30, size=(10, 32))
+        engine.softmax_batch(block)
+        stats = engine.access_stats
+        assert stats.rows == 10
+        assert stats.elements == 320
+        assert stats.cam_sub_searches == 320
+        assert stats.sub_passes == 320
+        assert stats.register_writes == 10
+        assert stats.vmm_passes == 10
+        assert stats.divides == 320
+        assert 0 < stats.counter_increments <= 320
+        assert stats.lut_reads == 320 - stats.cam_misses
+
+    def test_row_and_batch_paths_record_identical_stats(self, rng):
+        block = rng.uniform(-40, 40, size=(7, 48))
+        batch_engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=MRPC_FORMAT))
+        row_engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=MRPC_FORMAT))
+        batch_engine.softmax_batch(block)
+        _row_by_row(row_engine, block)
+        assert batch_engine.access_stats == row_engine.access_stats
+
+    def test_stats_compose(self):
+        one = AccessStats.for_block(1, 8)
+        ten = AccessStats.for_block(10, 8)
+        assert one.scaled(10) == ten
+        assert one + one == AccessStats.for_block(2, 8)
+        with pytest.raises(ValueError):
+            AccessStats(rows=-1)
+
+    def test_costs_derive_from_stats(self):
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        stats = engine.stats_for(1, 128)
+        assert engine.energy_j_of(stats) == engine.row_energy_j(128)
+        assert engine.latency_s_of(stats) == engine.row_latency_s(128)
+        ledger = engine.ledger_of(stats)
+        assert ledger.total_energy_j == pytest.approx(engine.row_energy_j(128), rel=0.35)
+        # a 100-row block costs exactly 100x one row in energy
+        assert engine.batch_energy_j(100, 128) == pytest.approx(
+            100 * engine.row_energy_j(128)
+        )
+
+    def test_live_stats_power_matches_closed_form(self, rng):
+        engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        block = rng.uniform(-3, 3, size=(16, 128))  # narrow: no misses
+        engine.softmax_batch(block)
+        live = engine.access_stats
+        assert live.cam_misses == 0
+        assert engine.energy_j_of(live) == pytest.approx(
+            engine.batch_energy_j(16, 128), rel=0.05
+        )
+
+
+class TestBatchedNoise:
+    def test_noise_draws_vectorized_but_statistically_sane(self, rng):
+        config = SoftmaxEngineConfig(
+            fmt=CNEWS_FORMAT, noise=NoiseConfig(read_noise_sigma=0.05, seed=11)
+        )
+        noisy = RRAMSoftmaxEngine(config)
+        ideal = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        block = rng.uniform(-20, 20, size=(32, 64))
+        noisy_out = noisy.softmax_batch(block)
+        ideal_out = ideal.softmax_batch(block)
+        assert not np.allclose(noisy_out, ideal_out)
+        np.testing.assert_allclose(noisy_out.sum(axis=-1), 1.0, atol=0.25)
+        assert np.max(np.abs(noisy_out - ideal_out)) < 0.2
