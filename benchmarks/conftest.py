@@ -8,6 +8,8 @@ to the timing data.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 
@@ -15,6 +17,16 @@ def record(benchmark, **values) -> None:
     """Attach reproduced experiment values to the benchmark report."""
     for key, value in values.items():
         benchmark.extra_info[key] = value
+
+
+def best_of(fn, repeats: int) -> float:
+    """Minimum wall time of ``repeats`` calls (noise-robust point estimate)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 @pytest.fixture

@@ -25,17 +25,7 @@ from repro.nn.softmax_models import FixedPointSoftmax
 from repro.utils.fixed_point import CNEWS_FORMAT
 from repro.workloads import CNEWS_PROFILE, AttentionScoreGenerator
 
-from conftest import record
-
-
-def _best_of(fn, repeats: int) -> float:
-    """Minimum wall time of ``repeats`` calls (noise-robust point estimate)."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+from conftest import best_of, record
 
 
 def _row_loop_seconds(engine: RRAMSoftmaxEngine, block: np.ndarray, sample_rows: int) -> float:
@@ -61,7 +51,7 @@ def test_bench_engine_batched_block(benchmark):
 
     probs = benchmark(engine.softmax_batch, block)
 
-    batch_s = _best_of(lambda: engine.softmax_batch(block), repeats=7)
+    batch_s = best_of(lambda: engine.softmax_batch(block), repeats=7)
     row_s = _row_loop_seconds(engine, block, sample_rows=96)
     speedup = row_s / batch_s
     record(
@@ -89,7 +79,7 @@ def test_bench_batched_speedup_smoke(benchmark):
 
     probs = benchmark(engine.softmax_batch, block)
 
-    batch_s = _best_of(lambda: engine.softmax_batch(block), repeats=9)
+    batch_s = best_of(lambda: engine.softmax_batch(block), repeats=9)
     row_s = _row_loop_seconds(engine, block, sample_rows=64)
     speedup = row_s / batch_s
     record(

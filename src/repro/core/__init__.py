@@ -12,7 +12,7 @@ from repro.core.config import (
 from repro.core.counter import CounterBank
 from repro.core.divider import DividerUnit
 from repro.core.exponent import ExponentBatchResult, ExponentialUnit, ExponentResult
-from repro.core.matmul_engine import GEMMShape, MatMulEngine
+from repro.core.matmul_engine import GEMMShape, MatMulEngine, ProgrammedOperand
 from repro.core.pipeline import AttentionPipeline, PipelineSchedule, StageTiming
 from repro.core.softmax_engine import RRAMSoftmaxEngine, SoftmaxRowTrace
 
@@ -34,6 +34,7 @@ __all__ = [
     "SoftmaxRowTrace",
     "MatMulEngine",
     "GEMMShape",
+    "ProgrammedOperand",
     "AttentionPipeline",
     "StageTiming",
     "PipelineSchedule",

@@ -8,30 +8,41 @@ bitline sums.
 
 The class provides both
 
-* a *functional* path — :meth:`matvec_tile` / :meth:`matmul` — built on
-  :class:`repro.rram.crossbar.AnalogCrossbar`, used by the examples and the
+* a *functional* path — :meth:`program_operand` / :meth:`matmul` /
+  :meth:`matvec_tile` — built on
+  :class:`repro.rram.crossbar.AnalogCrossbar`, used by the NN compute
+  backends (:class:`repro.nn.backend.AnalogBackend`), the examples and the
   crossbar-fidelity tests, and
 * an *analytical cost* path — :meth:`gemm_latency_s`, :meth:`gemm_energy_j`,
   :meth:`row_latency_s` — used by the pipeline model and the Fig. 3
   efficiency comparison, where simulating every analog access would be
   pointlessly slow.
+
+The functional path is weight-stationary: :meth:`program_operand` writes a
+``K x N`` operand into a persistent bank of crossbar tiles **once** and
+returns a :class:`ProgrammedOperand`; :meth:`matmul` then streams every row
+of the activation matrix through the bank with one batched VMM per tile
+(:meth:`~repro.rram.crossbar.AnalogCrossbar.matvec_batch`).  All tiles
+share the engine-level :attr:`MatMulEngine.access_stats` counters, so
+programming and read accesses accumulate across the engine's lifetime
+instead of being discarded per call.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.arch.area import CrossbarAreaModel
 from repro.core.config import MatMulEngineConfig
 from repro.rram.converters import ADC, DAC
-from repro.rram.crossbar import AnalogCrossbar, CrossbarConfig
+from repro.rram.crossbar import AnalogCrossbar, CrossbarAccessStats, CrossbarConfig
 from repro.rram.device import RRAMDeviceConfig
 from repro.utils.validation import require_positive
 
-__all__ = ["GEMMShape", "MatMulEngine"]
+__all__ = ["GEMMShape", "ProgrammedOperand", "MatMulEngine"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +63,44 @@ class GEMMShape:
         return 2 * self.m * self.k * self.n
 
 
+@dataclass(frozen=True)
+class _OperandTile:
+    """One crossbar tile of a programmed operand and its placement."""
+
+    k0: int
+    k1: int
+    n0: int
+    n1: int
+    crossbar: AnalogCrossbar
+    column_sums: np.ndarray  # per-column sums of the logical block (offset correction)
+
+
+class ProgrammedOperand:
+    """A stationary ``K x N`` operand resident in a bank of crossbar tiles.
+
+    Produced by :meth:`MatMulEngine.program_operand`; each
+    ``crossbar_rows x crossbar_cols`` block of the operand occupies one
+    persistent :class:`~repro.rram.crossbar.AnalogCrossbar`.  Programming
+    happens exactly once — reusing the operand across many
+    :meth:`MatMulEngine.matmul` calls models the weight-stationary dataflow
+    of ReTransformer/STAR, and costs no further programming pulses.
+    """
+
+    def __init__(self, shape: tuple[int, int], tiles: list[_OperandTile]) -> None:
+        self.shape = shape
+        self._tiles = tiles
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of crossbar tiles the operand occupies."""
+        return len(self._tiles)
+
+    @property
+    def tiles(self) -> list[_OperandTile]:
+        """The operand's tiles with their ``(k, n)`` placement."""
+        return list(self._tiles)
+
+
 class MatMulEngine:
     """A bank of RRAM crossbar tiles executing GEMMs."""
 
@@ -70,17 +119,31 @@ class MatMulEngine:
             noise=cfg.noise,
             differential=True,
         )
+        self.access_stats = CrossbarAccessStats()
         self._reference_tile = AnalogCrossbar(self._tile_config)
         self._area_model = CrossbarAreaModel()
         self._adc = ADC(bits=cfg.adc_bits)
         self._dac = DAC(bits=cfg.dac_bits)
+        self._tiles_created = 0
 
     # ------------------------------------------------------------------ #
-    # functional path (small-scale demos and tests)
+    # functional path (NN backends, demos and tests)
     # ------------------------------------------------------------------ #
     def new_tile(self) -> AnalogCrossbar:
-        """A freshly constructed crossbar tile with this engine's configuration."""
-        return AnalogCrossbar(self._tile_config)
+        """A freshly constructed crossbar tile recording into this engine's stats.
+
+        Each tile receives its own noise seed (base seed + tile index), so
+        device noise is independent across the arrays of one engine —
+        identically-seeded tiles would draw perfectly correlated deviates
+        and bias accuracy-under-noise sweeps.  Tile creation stays
+        deterministic for a given engine construction order.
+        """
+        tile_config = self._tile_config
+        if not tile_config.noise.is_ideal:
+            noise = replace(tile_config.noise, seed=tile_config.noise.seed + self._tiles_created)
+            tile_config = replace(tile_config, noise=noise)
+        self._tiles_created += 1
+        return AnalogCrossbar(tile_config, stats=self.access_stats)
 
     def matvec_tile(self, matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
         """Analog ``vector @ matrix`` on one tile (shapes must fit the tile)."""
@@ -88,40 +151,124 @@ class MatMulEngine:
         tile.program(matrix)
         return tile.matvec(vector)
 
-    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Analog ``a @ b`` by tiling ``b`` across crossbars.
+    def program_operand(self, b: np.ndarray) -> ProgrammedOperand:
+        """Write a stationary ``K x N`` operand into a persistent tile bank.
 
-        Intended for example-scale matrices; each ``crossbar_rows x
-        crossbar_cols`` block of ``b`` is programmed into a tile and every
-        row of ``a`` is streamed through it.
+        Each ``crossbar_rows x crossbar_cols`` block of ``b`` (zero-padded
+        at the ragged edges) is programmed into its own crossbar tile, once.
+        Programming pulses are charged to :attr:`access_stats`.  The
+        returned :class:`ProgrammedOperand` can be passed to :meth:`matmul`
+        any number of times without re-programming — the weight-stationary
+        reuse that PIM accelerators exist for.
         """
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
-        if a.ndim != 2 or b.ndim != 2:
-            raise ValueError("matmul expects two 2-D matrices")
-        if a.shape[1] != b.shape[0]:
-            raise ValueError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+        matrix = np.asarray(b, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"operand must be a 2-D matrix, got shape {matrix.shape}")
         rows, cols = self.config.crossbar_rows, self.config.crossbar_cols
-        m, k = a.shape
-        _, n = b.shape
-        out = np.zeros((m, n), dtype=np.float64)
+        k, n = matrix.shape
+        tiles: list[_OperandTile] = []
         for k0 in range(0, k, rows):
             k1 = min(k0 + rows, k)
             for n0 in range(0, n, cols):
                 n1 = min(n0 + cols, n)
                 block = np.zeros((rows, cols))
-                block[: k1 - k0, : n1 - n0] = b[k0:k1, n0:n1]
+                block[: k1 - k0, : n1 - n0] = matrix[k0:k1, n0:n1]
                 tile = self.new_tile()
                 tile.program(block)
-                for i in range(m):
-                    vector = np.zeros(rows)
-                    segment = a[i, k0:k1]
-                    offset = float(np.min(segment))
-                    vector[: k1 - k0] = segment - offset  # wordlines need >= 0 inputs
-                    result = tile.matvec(vector)
-                    correction = offset * np.sum(block, axis=0)
-                    out[i, n0:n1] += result[: n1 - n0] + correction[: n1 - n0]
+                tiles.append(
+                    _OperandTile(
+                        k0=k0,
+                        k1=k1,
+                        n0=n0,
+                        n1=n1,
+                        crossbar=tile,
+                        column_sums=block.sum(axis=0),
+                    )
+                )
+        return ProgrammedOperand(shape=(k, n), tiles=tiles)
+
+    def matmul(self, a: np.ndarray, b: np.ndarray | ProgrammedOperand) -> np.ndarray:
+        """Analog ``a @ b`` streaming all rows of ``a`` through the tile bank.
+
+        ``b`` is either a raw matrix — programmed into a fresh tile bank for
+        this one call (the dynamic-operand case, e.g. attention's ``QK^T``)
+        — or a :class:`ProgrammedOperand` from :meth:`program_operand`,
+        reused without any re-programming (the weight-stationary case).
+
+        Every row block streams through
+        :meth:`~repro.rram.crossbar.AnalogCrossbar.matvec_batch` in one
+        batched VMM per tile: wordlines need non-negative inputs, so each
+        row is shifted by its per-row minimum and the whole correction is
+        applied as one rank-1 update — the per-row Python loop of the
+        original implementation collapses into vectorized NumPy.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2:
+            raise ValueError("matmul expects a 2-D activation matrix")
+        if isinstance(b, ProgrammedOperand):
+            operand = b
+        else:
+            raw = np.asarray(b, dtype=np.float64)
+            if raw.ndim != 2:
+                raise ValueError("matmul expects two 2-D matrices")
+            if a.shape[1] != raw.shape[0]:
+                # reject before programming so failed calls charge no writes
+                raise ValueError(f"inner dimensions differ: {a.shape} @ {raw.shape}")
+            operand = self.program_operand(raw)
+        k, n = operand.shape
+        if a.shape[1] != k:
+            raise ValueError(f"inner dimensions differ: {a.shape} @ {operand.shape}")
+        rows = self.config.crossbar_rows
+        m = a.shape[0]
+        out = np.zeros((m, n), dtype=np.float64)
+        for tile in operand.tiles:
+            segment = a[:, tile.k0 : tile.k1]
+            offsets = np.min(segment, axis=1)  # wordlines need >= 0 inputs
+            padded = np.zeros((m, rows))
+            padded[:, : tile.k1 - tile.k0] = segment - offsets[:, None]
+            result = tile.crossbar.matvec_batch(padded)
+            correction = offsets[:, None] * tile.column_sums[None, :]
+            width = tile.n1 - tile.n0
+            out[:, tile.n0 : tile.n1] += result[:, :width] + correction[:, :width]
         return out
+
+    # ------------------------------------------------------------------ #
+    # stats-derived costs (functional path accounting)
+    # ------------------------------------------------------------------ #
+    def energy_j_of(self, stats: CrossbarAccessStats) -> float:
+        """Energy of the accesses recorded in ``stats``.
+
+        Derived analytically from the counters — cell reads, converter
+        activity, sample-and-hold and programming pulses — the same
+        decoupled accounting the softmax engine uses: the functional path
+        counts accesses, cost never rides the data path.
+        """
+        device = self._reference_tile.device
+        g_mid = 0.5 * (device.config.g_min_s + device.config.g_max_s)
+        per_cell_read = float(device.read_energy_j(g_mid))
+        sample_hold = self._reference_tile.sample_hold
+        return (
+            stats.cell_reads * per_cell_read
+            + stats.dac_conversions * self._dac.energy_per_conversion_j
+            + stats.adc_conversions
+            * (self._adc.energy_per_conversion_j + sample_hold.energy_per_sample_j)
+            + stats.programming_pulses * device.write_energy_j()
+        )
+
+    def latency_s_of(self, stats: CrossbarAccessStats) -> float:
+        """Serialized latency of the accesses recorded in ``stats``.
+
+        Array activations are charged one bit-serial cycle each and
+        programming pulses are charged row-parallel writes, as if a single
+        tile performed all the work back to back; tile-level parallelism is
+        the analytical path's concern (:meth:`gemm_latency_s`).
+        """
+        cfg = self._tile_config
+        read_s = stats.array_activations * self._reference_tile.cycle_latency_s()
+        write_s = (
+            stats.programming_pulses / cfg.physical_cols
+        ) * self._reference_tile.device.write_latency_s()
+        return read_s + write_s
 
     # ------------------------------------------------------------------ #
     # per-tile costs

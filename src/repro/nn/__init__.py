@@ -1,6 +1,7 @@
-"""NumPy attention-model substrate: layers, softmax variants, BERT-base."""
+"""NumPy attention-model substrate: layers, softmax variants, compute backends, BERT-base."""
 
 from repro.nn.attention import MultiHeadAttention
+from repro.nn.backend import AnalogBackend, ComputeBackend, IdealBackend
 from repro.nn.bert import BERT_BASE, BertConfig, BertEncoderModel, BertWorkload
 from repro.nn.encoder import TransformerEncoder, TransformerEncoderLayer
 from repro.nn.functional import (
@@ -41,6 +42,9 @@ __all__ = [
     "ReferenceSoftmax",
     "FixedPointSoftmax",
     "Base2Softmax",
+    "ComputeBackend",
+    "IdealBackend",
+    "AnalogBackend",
     "QuantizationSpec",
     "quantize_tensor",
     "dequantize_tensor",

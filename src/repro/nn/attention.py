@@ -1,17 +1,24 @@
-"""Multi-head self-attention with a pluggable softmax implementation.
+"""Multi-head self-attention with pluggable softmax and compute backend.
 
-The softmax callable is the interchangeable piece: the accuracy experiments
-swap :class:`~repro.nn.softmax_models.ReferenceSoftmax` for
-:class:`~repro.nn.softmax_models.FixedPointSoftmax` (STAR's datapath) or
-:class:`~repro.nn.softmax_models.Base2Softmax` (Softermax) without touching the rest
-of the encoder, and the attention-score hooks expose the raw ``QK^T/sqrt(d)``
-scores that the bit-width analysis of Section II consumes.
+Two pieces are interchangeable:
 
-The cycle-accurate :class:`~repro.core.softmax_engine.RRAMSoftmaxEngine`
-plugs in the same way: its ``__call__`` flattens the whole
-``(batch, heads, seq, seq)`` score tensor into one block for the vectorized
-batch backend, so running the *engine* (not just the functional model)
-inside full BERT-base inference is practical at every sequence length.
+* the **softmax callable** — the accuracy experiments swap
+  :class:`~repro.nn.softmax_models.ReferenceSoftmax` for
+  :class:`~repro.nn.softmax_models.FixedPointSoftmax` (STAR's datapath) or
+  :class:`~repro.nn.softmax_models.Base2Softmax` (Softermax) without
+  touching the rest of the encoder, and the cycle-accurate
+  :class:`~repro.core.softmax_engine.RRAMSoftmaxEngine` plugs in the same
+  way: its ``__call__`` flattens the whole ``(batch, heads, seq, seq)``
+  score tensor into one block for the vectorized batch backend;
+* the **compute backend** — every GEMM of the block (the four projections
+  plus the dynamic ``QK^T`` score and ``A V`` context products) runs on a
+  :class:`~repro.nn.backend.ComputeBackend`.  With
+  :class:`~repro.nn.backend.AnalogBackend` the attention scores are
+  produced by crossbar GEMM tiles and can feed the RRAM softmax engine —
+  the paper's full analog attention datapath.
+
+The attention-score hooks expose the raw ``QK^T/sqrt(d)`` scores that the
+bit-width analysis of Section II consumes.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.nn.backend import IDEAL_BACKEND, ComputeBackend
 from repro.nn.functional import softmax as exact_softmax
 from repro.nn.layers import Linear
 
@@ -37,6 +45,7 @@ class MultiHeadAttention:
         num_heads: int,
         rng: np.random.Generator | None = None,
         softmax_fn: SoftmaxFn | None = None,
+        backend: ComputeBackend | None = None,
     ) -> None:
         if hidden < 1 or num_heads < 1:
             raise ValueError(
@@ -51,10 +60,11 @@ class MultiHeadAttention:
         self.num_heads = num_heads
         self.head_dim = hidden // num_heads
         self.softmax_fn: SoftmaxFn = softmax_fn if softmax_fn is not None else exact_softmax
-        self.query_proj = Linear(hidden, hidden, rng=generator)
-        self.key_proj = Linear(hidden, hidden, rng=generator)
-        self.value_proj = Linear(hidden, hidden, rng=generator)
-        self.output_proj = Linear(hidden, hidden, rng=generator)
+        self.backend: ComputeBackend = backend if backend is not None else IDEAL_BACKEND
+        self.query_proj = Linear(hidden, hidden, rng=generator, backend=backend)
+        self.key_proj = Linear(hidden, hidden, rng=generator, backend=backend)
+        self.value_proj = Linear(hidden, hidden, rng=generator, backend=backend)
+        self.output_proj = Linear(hidden, hidden, rng=generator, backend=backend)
         self.last_scores: np.ndarray | None = None
         self.last_weights: np.ndarray | None = None
 
@@ -78,7 +88,8 @@ class MultiHeadAttention:
         ``last_scores`` / ``last_weights`` for the analysis code.  The
         softmax callable receives the full 4-D score tensor, so engine-backed
         softmax implementations process all ``batch * heads * seq`` rows in
-        one vectorized batch.
+        one vectorized batch.  Both dynamic GEMMs (``QK^T`` and
+        ``weights @ V``) run on the configured compute backend.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 3 or x.shape[-1] != self.hidden:
@@ -89,14 +100,14 @@ class MultiHeadAttention:
         key = self._split_heads(self.key_proj(x))
         value = self._split_heads(self.value_proj(x))
 
-        scores = query @ np.swapaxes(key, -1, -2) / np.sqrt(self.head_dim)
+        scores = self.backend.matmul(query, np.swapaxes(key, -1, -2)) / np.sqrt(self.head_dim)
         if mask is not None:
             scores = scores + np.asarray(mask, dtype=np.float64)
         self.last_scores = scores
         weights = self.softmax_fn(scores)
         self.last_weights = weights
 
-        context = weights @ value
+        context = self.backend.matmul(weights, value)
         return self.output_proj(self._merge_heads(context))
 
     # ------------------------------------------------------------------ #

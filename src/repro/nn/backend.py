@@ -1,0 +1,166 @@
+"""Pluggable compute backends: which hardware executes the model's GEMMs.
+
+PR 1 made the *softmax* interchangeable (exact / fixed-point / RRAM engine);
+this module does the same for every **matrix multiplication** in the model.
+A :class:`ComputeBackend` executes the two GEMM flavours a transformer
+encoder has:
+
+* :meth:`ComputeBackend.linear` — a *stationary-weight* GEMM
+  (``x @ W`` of a :class:`~repro.nn.layers.Linear` layer).  The analog
+  backend programs the weight into a persistent crossbar tile bank once
+  (:meth:`repro.core.matmul_engine.MatMulEngine.program_operand`) and
+  reuses it on every call — the weight-stationary dataflow RRAM PIM
+  accelerators exist for.
+* :meth:`ComputeBackend.matmul` — a *dynamic-operand* GEMM (attention's
+  ``QK^T`` score product and ``A V`` context product), where the right-hand
+  operand changes every call and therefore has to be (re)written into the
+  tiles, as PipeLayer-style accelerators do.
+
+Two implementations ship:
+
+* :class:`IdealBackend` — exact NumPy, bit-identical to the seed model's
+  plain ``@`` operators (and exactly what the layers use by default);
+* :class:`AnalogBackend` — simulated RRAM crossbar GEMMs through a
+  :class:`~repro.core.matmul_engine.MatMulEngine`, including weight
+  quantisation onto conductance levels, bit-serial input streaming, ADC
+  readout and any configured noise/IR-drop non-idealities.  Access
+  statistics accumulate on ``backend.engine.access_stats``.
+
+One constructor argument (``backend=``) threads a backend through
+:class:`~repro.nn.layers.Linear`, :class:`~repro.nn.attention.MultiHeadAttention`,
+:class:`~repro.nn.encoder.TransformerEncoder` and
+:class:`~repro.nn.bert.BertEncoderModel`; combined with the pluggable
+softmax (``softmax_fn=RRAMSoftmaxEngine(...)``) this runs full BERT
+inference with *both* attention stages on simulated analog hardware.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.core.matmul_engine import MatMulEngine, ProgrammedOperand
+    from repro.rram.crossbar import CrossbarAccessStats
+
+__all__ = ["ComputeBackend", "IdealBackend", "AnalogBackend", "IDEAL_BACKEND"]
+
+
+@runtime_checkable
+class ComputeBackend(Protocol):
+    """What a compute backend must provide to the NN layers."""
+
+    name: str
+
+    def linear(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """Stationary-weight GEMM ``x @ weight``; ``x`` is ``(..., k)``."""
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Dynamic-operand GEMM ``a @ b`` over matching leading dimensions."""
+
+
+class IdealBackend:
+    """Exact NumPy execution — the mathematical reference."""
+
+    name = "ideal"
+
+    def linear(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """Exact ``x @ weight``."""
+        return x @ weight
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Exact ``a @ b`` (stacked GEMM over leading dimensions)."""
+        return a @ b
+
+
+#: Shared default backend; stateless, so one instance serves every layer.
+IDEAL_BACKEND = IdealBackend()
+
+
+class AnalogBackend:
+    """Simulated RRAM crossbar execution of every GEMM.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.core.matmul_engine.MatMulEngine` to run on.  A
+        default-configured engine (128x128 tiles, 5-bit ADCs, ideal
+        devices) is built when omitted.  Functional fidelity on small
+        models benefits from more conductance levels, e.g.
+        ``MatMulEngineConfig(bits_per_cell=5, adc_bits=10)``.
+
+    Notes
+    -----
+    Stationary weights are programmed into persistent tile banks on first
+    use and cached per weight matrix, so repeated forward passes pay
+    programming once.  Dynamic operands (attention scores / context) are
+    re-programmed per call, which the access stats make visible as
+    additional ``programming_pulses`` — exactly the PipeLayer-vs-STAR
+    trade-off the paper's ablation discusses.
+    """
+
+    name = "analog"
+
+    def __init__(self, engine: "MatMulEngine | None" = None) -> None:
+        if engine is None:
+            from repro.core.matmul_engine import MatMulEngine
+
+            engine = MatMulEngine()
+        self.engine = engine
+        # id(weight) -> (weak weight ref, contents snapshot, programmed tile
+        # bank); entries evict themselves when the weight array is collected,
+        # so rebuilding models on one backend cannot grow the cache unboundedly
+        self._operands: dict[
+            int, tuple["weakref.ref[np.ndarray]", np.ndarray, "ProgrammedOperand"]
+        ] = {}
+
+    @property
+    def access_stats(self) -> "CrossbarAccessStats":
+        """Engine-level crossbar access counters (all tiles, whole lifetime)."""
+        return self.engine.access_stats
+
+    def operand_for(self, weight: np.ndarray) -> "ProgrammedOperand":
+        """The persistent tile bank holding ``weight``, programming it once.
+
+        The bank is re-programmed (and the write charged to the access
+        stats, as real hardware would pay it) whenever the weight array's
+        *contents* change — in-place updates like ``layer.weight[:] = w``
+        are detected against a snapshot, not just the array's identity.
+        """
+        key = id(weight)
+        entry = self._operands.get(key)
+        if entry is None or entry[0]() is not weight or not np.array_equal(entry[1], weight):
+            evict = weakref.ref(weight, lambda _ref, key=key: self._operands.pop(key, None))
+            entry = (evict, weight.copy(), self.engine.program_operand(weight))
+            self._operands[key] = entry
+        return entry[2]
+
+    def linear(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """Analog ``x @ weight`` through the weight's persistent tile bank."""
+        x = np.asarray(x, dtype=np.float64)
+        flat = x.reshape(-1, x.shape[-1])
+        out = self.engine.matmul(flat, self.operand_for(weight))
+        return out.reshape(*x.shape[:-1], weight.shape[1])
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Analog ``a @ b``, programming the dynamic operand per call.
+
+        Stacked inputs (``(..., m, k) @ (..., k, n)`` with matching leading
+        dimensions) run one tiled analog GEMM per leading index.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim == 2 and b.ndim == 2:
+            return self.engine.matmul(a, b)
+        if a.ndim != b.ndim or a.shape[:-2] != b.shape[:-2]:
+            raise ValueError(
+                f"stacked matmul needs matching leading dimensions, got "
+                f"{a.shape} @ {b.shape}"
+            )
+        lead = a.shape[:-2]
+        out = np.empty(lead + (a.shape[-2], b.shape[-1]), dtype=np.float64)
+        for index in np.ndindex(*lead):
+            out[index] = self.engine.matmul(a[index], b[index])
+        return out

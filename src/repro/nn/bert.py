@@ -5,7 +5,10 @@ encoder (12 layers, hidden 768, 12 heads, FFN 3072).  Two things are needed
 from it here:
 
 * a runnable forward pass (for the accuracy and score-distribution
-  experiments), built from :mod:`repro.nn.encoder`;
+  experiments), built from :mod:`repro.nn.encoder` — with pluggable
+  softmax (``softmax_fn``) and GEMM compute backend (``backend``), so the
+  same model runs exact NumPy inference or full analog inference on
+  simulated RRAM crossbars;
 * exact operation counts of each component as a function of sequence length
   (for the latency-breakdown experiment E1 and the efficiency figure E6),
   provided by :class:`BertWorkload` without instantiating any weights — so
@@ -19,6 +22,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.nn.backend import ComputeBackend
 from repro.nn.encoder import TransformerEncoder
 from repro.nn.layers import Embedding
 
@@ -56,13 +60,22 @@ BERT_BASE = BertConfig()
 
 
 class BertEncoderModel:
-    """Runnable BERT encoder with deterministic random weights."""
+    """Runnable BERT encoder with deterministic random weights.
+
+    ``softmax_fn`` selects the softmax implementation and ``backend`` the
+    GEMM hardware (:mod:`repro.nn.backend`).  Passing
+    ``backend=AnalogBackend(...)`` together with
+    ``softmax_fn=RRAMSoftmaxEngine(...)`` runs the whole encoder —
+    projections, attention score/context products, FFN *and* softmax — on
+    simulated analog RRAM hardware; the embedding lookup stays digital.
+    """
 
     def __init__(
         self,
         config: BertConfig = BERT_BASE,
         seed: int = 0,
         softmax_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+        backend: ComputeBackend | None = None,
     ) -> None:
         self.config = config
         rng = np.random.default_rng(seed)
@@ -76,6 +89,7 @@ class BertEncoderModel:
             config.intermediate,
             rng=rng,
             softmax_fn=softmax_fn,
+            backend=backend,
         )
 
     def __call__(self, token_ids: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:

@@ -1,4 +1,11 @@
-"""Transformer encoder layer and stack (BERT-base topology)."""
+"""Transformer encoder layer and stack (BERT-base topology).
+
+Both pluggable pieces thread through here: the softmax implementation
+(``softmax_fn``) and the GEMM compute backend (``backend``,
+:mod:`repro.nn.backend`) are passed once and shared by every layer of the
+stack, so one constructor argument switches the whole encoder between
+exact NumPy and simulated analog crossbar hardware.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,7 @@ from typing import Callable
 import numpy as np
 
 from repro.nn.attention import MultiHeadAttention
+from repro.nn.backend import ComputeBackend
 from repro.nn.layers import FeedForward, LayerNorm
 
 __all__ = ["TransformerEncoderLayer", "TransformerEncoder"]
@@ -22,13 +30,14 @@ class TransformerEncoderLayer:
         intermediate: int,
         rng: np.random.Generator | None = None,
         softmax_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+        backend: ComputeBackend | None = None,
     ) -> None:
         generator = rng if rng is not None else np.random.default_rng(0)
         self.attention = MultiHeadAttention(
-            hidden, num_heads, rng=generator, softmax_fn=softmax_fn
+            hidden, num_heads, rng=generator, softmax_fn=softmax_fn, backend=backend
         )
         self.attention_norm = LayerNorm(hidden)
-        self.feed_forward = FeedForward(hidden, intermediate, rng=generator)
+        self.feed_forward = FeedForward(hidden, intermediate, rng=generator, backend=backend)
         self.output_norm = LayerNorm(hidden)
 
     def __call__(self, x: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
@@ -49,7 +58,7 @@ class TransformerEncoderLayer:
 
 
 class TransformerEncoder:
-    """A stack of identical encoder layers sharing one softmax implementation."""
+    """A stack of identical encoder layers sharing one softmax and one backend."""
 
     def __init__(
         self,
@@ -59,13 +68,19 @@ class TransformerEncoder:
         intermediate: int,
         rng: np.random.Generator | None = None,
         softmax_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+        backend: ComputeBackend | None = None,
     ) -> None:
         if num_layers < 1:
             raise ValueError(f"num_layers must be >= 1, got {num_layers}")
         generator = rng if rng is not None else np.random.default_rng(0)
         self.layers = [
             TransformerEncoderLayer(
-                hidden, num_heads, intermediate, rng=generator, softmax_fn=softmax_fn
+                hidden,
+                num_heads,
+                intermediate,
+                rng=generator,
+                softmax_fn=softmax_fn,
+                backend=backend,
             )
             for _ in range(num_layers)
         ]

@@ -6,6 +6,11 @@ trains a network: latency/energy experiments only need correct shapes and
 operation counts, and accuracy experiments use the synthetic classification
 task from :mod:`repro.workloads.classification` whose weights are also
 generated, not learned.
+
+Every GEMM runs on a pluggable :class:`~repro.nn.backend.ComputeBackend`:
+the default :class:`~repro.nn.backend.IdealBackend` is exact NumPy, while
+:class:`~repro.nn.backend.AnalogBackend` executes the same multiplications
+on simulated RRAM crossbar tiles.
 """
 
 from __future__ import annotations
@@ -14,13 +19,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.nn.backend import IDEAL_BACKEND, ComputeBackend
 from repro.nn.functional import gelu, layer_norm
 
 __all__ = ["Linear", "LayerNorm", "FeedForward", "Embedding"]
 
 
 class Linear:
-    """Affine layer ``y = x @ W + b`` with deterministic random initialisation."""
+    """Affine layer ``y = x @ W + b`` with deterministic random initialisation.
+
+    The matrix product runs on ``backend`` (exact NumPy by default); an
+    :class:`~repro.nn.backend.AnalogBackend` programs ``W`` into a
+    persistent crossbar tile bank on first use and streams every forward
+    pass through it.
+    """
 
     def __init__(
         self,
@@ -28,6 +40,7 @@ class Linear:
         out_features: int,
         rng: np.random.Generator | None = None,
         bias: bool = True,
+        backend: ComputeBackend | None = None,
     ) -> None:
         if in_features < 1 or out_features < 1:
             raise ValueError(
@@ -35,6 +48,7 @@ class Linear:
             )
         self.in_features = in_features
         self.out_features = out_features
+        self.backend: ComputeBackend = backend if backend is not None else IDEAL_BACKEND
         generator = rng if rng is not None else np.random.default_rng(0)
         scale = 1.0 / np.sqrt(in_features)
         self.weight = generator.normal(0.0, scale, size=(in_features, out_features))
@@ -48,7 +62,7 @@ class Linear:
                 f"input feature size {x.shape[-1]} does not match layer "
                 f"in_features {self.in_features}"
             )
-        out = x @ self.weight
+        out = self.backend.linear(x, self.weight)
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -83,17 +97,22 @@ class LayerNorm:
 
 
 class FeedForward:
-    """BERT position-wise feed-forward block: Linear -> GELU -> Linear."""
+    """BERT position-wise feed-forward block: Linear -> GELU -> Linear.
+
+    Both projections execute on ``backend`` (exact NumPy by default, analog
+    crossbar GEMMs with :class:`~repro.nn.backend.AnalogBackend`).
+    """
 
     def __init__(
         self,
         hidden: int,
         intermediate: int,
         rng: np.random.Generator | None = None,
+        backend: ComputeBackend | None = None,
     ) -> None:
         generator = rng if rng is not None else np.random.default_rng(0)
-        self.up = Linear(hidden, intermediate, rng=generator)
-        self.down = Linear(intermediate, hidden, rng=generator)
+        self.up = Linear(hidden, intermediate, rng=generator, backend=backend)
+        self.down = Linear(intermediate, hidden, rng=generator, backend=backend)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Forward pass."""

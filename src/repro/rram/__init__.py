@@ -2,7 +2,7 @@
 
 from repro.rram.cam import CAMConfig, CAMCrossbar
 from repro.rram.converters import ADC, DAC, SampleAndHold, SenseAmplifier
-from repro.rram.crossbar import AccessStats, AnalogCrossbar, CrossbarConfig
+from repro.rram.crossbar import AnalogCrossbar, CrossbarAccessStats, CrossbarConfig
 from repro.rram.device import RRAMDevice, RRAMDeviceConfig
 from repro.rram.lut import LUTConfig, LUTCrossbar, exponential_lut_entries
 from repro.rram.noise import (
@@ -32,7 +32,7 @@ __all__ = [
     "SampleAndHold",
     "AnalogCrossbar",
     "CrossbarConfig",
-    "AccessStats",
+    "CrossbarAccessStats",
     "CAMCrossbar",
     "CAMConfig",
     "LUTCrossbar",

@@ -81,7 +81,9 @@ class ADC:
     def quantize(self, values: np.ndarray, full_scale: float) -> np.ndarray:
         """Quantise analog values in ``[0, full_scale]`` to ADC codes.
 
-        Values outside the range saturate, modelling ADC clipping.
+        Values outside the range saturate, modelling ADC clipping.  Accepts
+        arrays of any shape — the batched crossbar backend passes whole
+        ``(batch, cols)`` current blocks through one call.
         """
         require_positive(full_scale, "full_scale")
         arr = np.asarray(values, dtype=np.float64)
@@ -93,9 +95,44 @@ class ADC:
         require_positive(full_scale, "full_scale")
         return np.asarray(codes, dtype=np.float64) / (self.num_levels - 1) * full_scale
 
-    def convert(self, values: np.ndarray, full_scale: float) -> np.ndarray:
-        """Quantise and immediately dequantise (the value seen downstream)."""
-        return self.dequantize(self.quantize(values, full_scale), full_scale)
+    def _convert_chain(
+        self, values: np.ndarray, full_scale: float, low_code: int, out: np.ndarray | None
+    ) -> np.ndarray:
+        """Shared quantise/dequantise chain, optionally fully in place."""
+        require_positive(full_scale, "full_scale")
+        arr = np.asarray(values, dtype=np.float64)
+        max_code = self.num_levels - 1
+        if out is None:
+            out = np.empty_like(arr)
+        np.multiply(arr, max_code / full_scale, out=out)
+        np.rint(out, out=out)
+        np.clip(out, low_code, max_code, out=out)
+        np.multiply(out, full_scale / max_code, out=out)
+        return out
+
+    def convert(
+        self, values: np.ndarray, full_scale: float, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Quantise and immediately dequantise (the value seen downstream).
+
+        Equivalent to ``dequantize(quantize(...))`` up to floating-point
+        association (the scaling is fused into one multiply per direction),
+        skipping the integer round-trip; with ``out=`` no temporaries are
+        allocated.  Both matter on the batched crossbar hot path.
+        """
+        return self._convert_chain(values, full_scale, 0, out)
+
+    def convert_signed(
+        self, values: np.ndarray, full_scale: float, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Sign-magnitude conversion: ``sign(v) * convert(|v|, full_scale)``.
+
+        Differential crossbars convert the magnitude of the (signed) column
+        current difference and reapply the sign.  ``rint`` rounds half to
+        even symmetrically and clipping is symmetric, so this fused form is
+        value-identical to the explicit sign/abs/convert sequence.
+        """
+        return self._convert_chain(values, full_scale, -(self.num_levels - 1), out)
 
 
 @dataclass(frozen=True)
@@ -139,7 +176,11 @@ class DAC:
         return self.power_w * self.latency_s
 
     def drive(self, codes: np.ndarray, v_read: float) -> np.ndarray:
-        """Convert digital codes to wordline voltages in ``[0, v_read]``."""
+        """Convert digital codes to wordline voltages in ``[0, v_read]``.
+
+        Element-wise over arrays of any shape; the batched crossbar backend
+        drives a whole ``(batch, rows)`` code block in one call.
+        """
         require_positive(v_read, "v_read")
         arr = np.asarray(codes, dtype=np.float64)
         max_code = self.num_levels - 1

@@ -19,10 +19,20 @@ architecture level:
   worst-case column current;
 * per-access energy and latency accounting that the architecture-level cost
   model aggregates.
+
+Two functional entry points share the model: :meth:`AnalogCrossbar.matvec`
+processes one input vector, and :meth:`AnalogCrossbar.matvec_batch`
+processes a whole ``(batch, rows)`` block with no Python-level per-vector
+loop.  The per-vector path delegates to the batched one, and the batched
+kernels are built exclusively from row-independent NumPy operations (plus an
+exact integer-arithmetic fast path for ideal devices), so the two are
+**bit-identical** under every configuration — differential or not, seeded
+read noise, IR drop and ADC saturation included.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,7 +42,38 @@ from repro.rram.device import RRAMDevice, RRAMDeviceConfig
 from repro.rram.noise import IDEAL_NOISE, NoiseConfig, NoiseModel
 from repro.utils.validation import as_1d_float_array, as_2d_float_array
 
-__all__ = ["CrossbarConfig", "AccessStats", "AnalogCrossbar"]
+__all__ = ["CrossbarConfig", "CrossbarAccessStats", "AnalogCrossbar"]
+
+# Upper bound on the float64 scratch matvec_batch holds at once (8 M
+# doubles = 64 MB) — pre-drawn noise deviates on the noisy path, stacked
+# code/current buffers on the exact path.  Larger blocks are split into
+# chunks; rows are independent and the noise stream is consumed in
+# per-vector order, so chunking never changes the results.
+_CHUNK_DOUBLES = 1 << 23
+
+
+class _Workspace(threading.local):
+    """Reusable per-thread scratch arrays for the batched exact kernel.
+
+    Large per-call temporaries exceed the allocator's mmap threshold, so a
+    fresh allocation pays page-fault cost on every VMM.  The workspace
+    keeps the two hot buffers alive between calls (a shape change simply
+    reallocates); it is thread-local, so crossbars driven from concurrent
+    sweep workers never share buffers.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def get(self, key: str, shape: tuple[int, ...]) -> np.ndarray:
+        arr = self._arrays.get(key)
+        if arr is None or arr.shape != shape:
+            arr = np.empty(shape, dtype=np.float64)
+            self._arrays[key] = arr
+        return arr
+
+
+_WORKSPACE = _Workspace()
 
 
 @dataclass(frozen=True)
@@ -118,8 +159,20 @@ class CrossbarConfig:
 
 
 @dataclass
-class AccessStats:
-    """Cumulative access counters used for energy/latency accounting."""
+class CrossbarAccessStats:
+    """Cumulative crossbar access counters used for energy/latency accounting.
+
+    Distinct from :class:`repro.core.access_stats.AccessStats`, which counts
+    the softmax engine's CAM/LUT/counter/divider accesses — this one counts
+    the analog VMM substrate's array, converter and programming accesses.
+    Several crossbars (e.g. all tiles of a MatMul engine) can share one
+    instance, in which case their accesses accumulate in one place.
+
+    The counters are plain unsynchronized integers: concurrent sweep
+    workers should each own their engine/crossbars (and therefore their
+    stats); crossbars sharing one stats object must be driven from a
+    single thread.
+    """
 
     vmm_ops: int = 0
     array_activations: int = 0
@@ -128,7 +181,7 @@ class AccessStats:
     dac_conversions: int = 0
     programming_pulses: int = 0
 
-    def merge(self, other: "AccessStats") -> None:
+    def merge(self, other: "CrossbarAccessStats") -> None:
         """Accumulate another counter set into this one."""
         self.vmm_ops += other.vmm_ops
         self.array_activations += other.array_activations
@@ -139,19 +192,34 @@ class AccessStats:
 
 
 class AnalogCrossbar:
-    """A programmable RRAM crossbar with analog VMM readout."""
+    """A programmable RRAM crossbar with analog VMM readout.
 
-    def __init__(self, config: CrossbarConfig | None = None) -> None:
+    Parameters
+    ----------
+    config:
+        Array dimensions and peripheral configuration.
+    stats:
+        Optional shared access-counter object.  When several crossbars form
+        one engine (the MatMul engine's tile bank), passing the engine's
+        stats object here makes every tile record into the same counters.
+    """
+
+    def __init__(
+        self,
+        config: CrossbarConfig | None = None,
+        stats: CrossbarAccessStats | None = None,
+    ) -> None:
         self.config = config or CrossbarConfig()
         self.device = RRAMDevice(self.config.device)
         self.noise = NoiseModel(self.config.noise)
         self.adc = ADC(bits=self.config.adc_bits)
         self.dac = DAC(bits=self.config.dac_bits)
         self.sample_hold = SampleAndHold()
-        self.stats = AccessStats()
+        self.stats = stats if stats is not None else CrossbarAccessStats()
         self._weights: np.ndarray | None = None
         self._conductance_pos: np.ndarray | None = None
         self._conductance_neg: np.ndarray | None = None
+        self._exact_levels: np.ndarray | None = None
         self._weight_scale: float = 1.0
         self._ir_drop_factors = self._build_ir_drop_factors()
 
@@ -228,18 +296,28 @@ class AnalogCrossbar:
         target_neg = g_min + neg * span
 
         # quantise to programmable levels, then apply programming variation
-        target_pos = self.device.level_to_conductance(
-            self.device.conductance_to_level(target_pos)
-        )
-        target_neg = self.device.level_to_conductance(
-            self.device.conductance_to_level(target_neg)
-        )
+        levels_pos = self.device.conductance_to_level(target_pos)
+        levels_neg = self.device.conductance_to_level(target_neg)
+        target_pos = self.device.level_to_conductance(levels_pos)
+        target_neg = self.device.level_to_conductance(levels_neg)
         self._conductance_pos = self.noise.apply_programming(target_pos, g_min, g_max)
         self._conductance_neg = (
             self.noise.apply_programming(target_neg, g_min, g_max)
             if cfg.differential
             else None
         )
+        # With an ideal write path the cells stay exactly on the level grid,
+        # which enables matvec_batch's exact integer-arithmetic kernel: the
+        # (differential) level matrix is all it needs, and the positive /
+        # negative column contributions fold into one exact integer
+        # difference ahead of time.
+        if self.noise.config.is_programming_ideal:
+            levels_eff = levels_pos.astype(np.float64)
+            if cfg.differential:
+                levels_eff = levels_eff - levels_neg.astype(np.float64)
+            self._exact_levels = levels_eff
+        else:
+            self._exact_levels = None
         self._weights = matrix.copy()
         self.stats.programming_pulses += int(matrix.size) * (2 if cfg.differential else 1)
 
@@ -253,7 +331,9 @@ class AnalogCrossbar:
         the DACs in ``input_cycles`` bit-serial slices; per-cycle bitline
         currents pass through the column ADCs and are accumulated with the
         appropriate binary weight — exactly the shift-and-add dataflow of
-        ISAAC-style PIM tiles.
+        ISAAC-style PIM tiles.  Delegates to :meth:`matvec_batch` with a
+        single-row block, so the per-vector and batched paths are the same
+        code and therefore bit-identical by construction.
 
         Parameters
         ----------
@@ -265,90 +345,273 @@ class AnalogCrossbar:
             ``False`` gives the noiseless analog result (useful to isolate
             error sources in tests).
         """
+        vector = as_1d_float_array(inputs, "inputs")
+        return self.matvec_batch(vector[None, :], quantize_output=quantize_output)[0]
+
+    def matvec_batch(self, inputs: np.ndarray, quantize_output: bool = True) -> np.ndarray:
+        """In-situ VMM of a whole ``(batch, rows)`` input block.
+
+        Streams every vector of the block through the bit-serial dataflow in
+        pure vectorized NumPy — input quantisation, DAC slicing, noise
+        application, ADC conversion and shift-and-add accumulation all act
+        on the full block at once.  The result is **bit-identical** to
+        calling :meth:`matvec` on each row in order, including under seeded
+        read noise: the noise deviates are pre-drawn from the generator in
+        exactly the order the per-vector loop would consume them, and every
+        reduction uses a row-independent kernel.
+
+        Two kernels back the per-cycle current computation:
+
+        * with ideal devices (no programming/read noise, no IR drop) the
+          cells sit exactly on the conductance level grid, so each cycle's
+          bitline current is an integer combination of DAC codes and cell
+          levels — computed as an exact integer-valued BLAS matmul, which
+          floating-point evaluation order cannot perturb;
+        * otherwise a (batched) ``einsum`` contraction over the perturbed
+          conductances is used, whose per-element reduction order does not
+          depend on the batch size.
+
+        Large noisy blocks are processed in chunks so the pre-drawn noise
+        stays within a fixed memory budget; chunking preserves the stream
+        order and therefore the results.
+
+        Parameters
+        ----------
+        inputs:
+            ``(batch, rows)`` block of non-negative vectors in logical
+            units.  Each row is scaled to its own maximum, exactly as the
+            per-vector path does.
+        quantize_output:
+            As in :meth:`matvec`.
+
+        Returns
+        -------
+        ``(batch, cols)`` array estimating ``inputs @ W`` row by row.
+        """
         if not self.is_programmed:
             raise RuntimeError("crossbar must be programmed before matvec")
-        vector = as_1d_float_array(inputs, "inputs")
+        block = as_2d_float_array(inputs, "inputs")
         cfg = self.config
-        if vector.shape[0] != cfg.rows:
+        if block.shape[1] != cfg.rows:
             raise ValueError(
-                f"input length {vector.shape[0]} does not match crossbar rows {cfg.rows}"
+                f"input length {block.shape[1]} does not match crossbar rows {cfg.rows}"
             )
-        if np.any(vector < 0):
+        if np.any(block < 0):
             raise ValueError("wordline inputs must be non-negative voltages/counts")
+        batch = block.shape[0]
+        if batch == 0:
+            return np.zeros((0, cfg.cols), dtype=np.float64)
 
+        if self.noise.config.read_noise_sigma > 0.0:
+            per_vector = cfg.input_cycles * self._deviates_per_cycle()
+        else:
+            per_vector = cfg.input_cycles * (cfg.rows + cfg.cols)  # exact-kernel scratch
+        chunk = max(1, _CHUNK_DOUBLES // max(1, per_vector))
+        if batch > chunk:
+            return np.concatenate(
+                [
+                    self._matvec_block(block[i : i + chunk], quantize_output)
+                    for i in range(0, batch, chunk)
+                ],
+                axis=0,
+            )
+        return self._matvec_block(block, quantize_output)
+
+    def _deviates_per_cycle(self) -> int:
+        """Read-noise deviates one vector consumes per bit-serial cycle."""
+        cfg = self.config
+        cells = cfg.rows * cfg.cols
+        return cells * (2 if cfg.differential else 1) + cfg.cols
+
+    def _matvec_block(self, block: np.ndarray, quantize_output: bool) -> np.ndarray:
+        """The batched bit-serial dataflow for one in-memory block."""
+        cfg = self.config
+        batch = block.shape[0]
         v_read = self.device.config.read_voltage_v
-        g_min = self.device.config.g_min_s
-        g_max = self.device.config.g_max_s
-        span = g_max - g_min
+        span = self.device.config.g_max_s - self.device.config.g_min_s
 
-        in_max = float(np.max(vector))
-        in_scale = in_max if in_max > 0 else 1.0
+        in_max = np.max(block, axis=1)
+        in_scale = np.where(in_max > 0.0, in_max, 1.0)
         max_input_code = (1 << cfg.input_bits) - 1
-        input_codes = np.rint(vector / in_scale * max_input_code).astype(np.int64)
-
-        dac_levels = self.dac.num_levels
-        dac_max = dac_levels - 1
+        input_codes = np.rint(block / in_scale[:, None] * max_input_code).astype(np.int64)
         full_scale = cfg.rows * v_read * span
 
-        accumulated = np.zeros(cfg.cols, dtype=np.float64)
-        remaining = input_codes.copy()
-        cycle_weight = 1
-        for _ in range(cfg.input_cycles):
-            slice_codes = remaining % dac_levels
-            remaining //= dac_levels
-            voltages = self.dac.drive(slice_codes, v_read)
+        if (
+            self.noise.config.read_noise_sigma <= 0.0
+            and self._ir_drop_factors is None
+            and self._exact_levels is not None
+        ):
+            accumulated = self._accumulate_exact(input_codes, quantize_output, full_scale)
+        else:
+            accumulated = self._accumulate_general(input_codes, quantize_output, full_scale)
 
-            g_pos = self.noise.apply_read(self._conductance_pos)
-            if self._ir_drop_factors is not None:
-                g_pos = g_pos * self._ir_drop_factors
-            currents = voltages @ g_pos
-            if cfg.differential:
-                g_neg = self.noise.apply_read(self._conductance_neg)
-                if self._ir_drop_factors is not None:
-                    g_neg = g_neg * self._ir_drop_factors
-                currents = currents - voltages @ g_neg
-            else:
-                currents = currents - float(np.sum(voltages)) * g_min
-            currents = self.noise.perturb_current(currents)
-
-            if quantize_output:
-                if cfg.differential:
-                    signs = np.sign(currents)
-                    currents = signs * self.adc.convert(np.abs(currents), full_scale)
-                else:
-                    currents = self.adc.convert(np.clip(currents, 0.0, None), full_scale)
-
-            accumulated += currents * cycle_weight
-            cycle_weight *= dac_levels
-            self._record_cycle_access()
-
-        self.stats.vmm_ops += 1
+        self._record_cycle_access(batch * cfg.input_cycles)
+        self.stats.vmm_ops += batch
 
         # Convert accumulated currents back to logical units.
         #   per-cycle current = sum_r (code_r / dac_max * v_read) * (w_rc / w_scale) * span
         #   shift-and-add over cycles reconstructs code_r = x_r / in_scale * max_input_code
         # hence logical = accumulated * dac_max * in_scale * w_scale
         #                 / (v_read * span * max_input_code)
+        dac_max = self.dac.num_levels - 1
         logical = (
             accumulated
             * dac_max
-            * in_scale
+            * in_scale[:, None]
             * self._weight_scale
             / (v_read * span * max_input_code)
         )
         return logical
+
+    def _accumulate_exact(
+        self, input_codes: np.ndarray, quantize_output: bool, full_scale: float
+    ) -> np.ndarray:
+        """Shift-and-add accumulation via the exact integer-arithmetic kernel.
+
+        With on-grid cells (``g = g_min + level * g_step``) and
+        code-proportional drive voltages, each cycle's bitline current is an
+        integer combination of DAC codes and cell levels (differential
+        column pairs fold into one pre-computed level difference, and the
+        single-ended ``g_min`` baseline subtraction cancels exactly).  All
+        cycles stack into **one** integer-valued BLAS matmul whose products
+        and partial sums are exact float64 integers — evaluation order
+        cannot perturb them, so the batched result is bit-identical to the
+        single-row one.
+        """
+        cfg = self.config
+        batch = input_codes.shape[0]
+        dac_levels = self.dac.num_levels
+        cycles = cfg.input_cycles
+        span = self.device.config.g_max_s - self.device.config.g_min_s
+        # conductance step between adjacent programmable levels, and the
+        # wordline voltage one DAC code corresponds to
+        g_step = span / (self.device.config.num_levels - 1)
+        volt_step = self.device.config.read_voltage_v / (dac_levels - 1)
+
+        # dac_levels is always a power of two, so the bit-serial slices come
+        # from masks and shifts — identical integers, far fewer passes.  The
+        # slices are written straight into the float operand of the stacked
+        # matmul, and the scale/ADC chain runs in place on its output: the
+        # kernel allocates exactly two large arrays per call.
+        mask = dac_levels - 1
+        codes_f = _WORKSPACE.get("codes_f", (cycles, batch, cfg.rows))
+        remaining = input_codes
+        for cycle in range(cycles):
+            codes_f[cycle] = remaining & mask
+            remaining = remaining >> self.dac.bits
+        level_sums = _WORKSPACE.get("level_sums", (cycles * batch, cfg.cols))
+        np.matmul(codes_f.reshape(cycles * batch, cfg.rows), self._exact_levels, out=level_sums)
+        currents = level_sums.reshape(cycles, batch, cfg.cols)
+        np.multiply(currents, g_step * volt_step, out=currents)
+
+        if quantize_output:
+            if cfg.differential:
+                self.adc.convert_signed(currents, full_scale, out=currents)
+            else:
+                np.clip(currents, 0.0, None, out=currents)
+                self.adc.convert(currents, full_scale, out=currents)
+
+        accumulated = np.zeros((batch, cfg.cols), dtype=np.float64)
+        cycle_weight = 1
+        for cycle in range(cycles):
+            accumulated += currents[cycle] * cycle_weight
+            cycle_weight *= dac_levels
+        return accumulated
+
+    def _accumulate_general(
+        self, input_codes: np.ndarray, quantize_output: bool, full_scale: float
+    ) -> np.ndarray:
+        """Shift-and-add accumulation through the full analog signal chain.
+
+        Used whenever read noise, IR drop or off-grid (programming-noisy)
+        conductances make the exact integer kernel inapplicable.  The
+        per-cycle contraction uses ``einsum``, whose per-element reduction
+        order is independent of the batch size, and read-noise deviates are
+        pre-drawn in exactly the order the per-vector loop would draw them
+        — keeping this path, too, bit-identical to looped :meth:`matvec`
+        calls.
+        """
+        cfg = self.config
+        batch = input_codes.shape[0]
+        v_read = self.device.config.read_voltage_v
+        g_min = self.device.config.g_min_s
+        dac_levels = self.dac.num_levels
+
+        noise_pos = noise_neg = noise_cur = None
+        g_pos_eff = g_neg_eff = None
+        if self.noise.config.read_noise_sigma > 0.0:
+            # Pre-draw every deviate of the block in the per-vector loop's
+            # consumption order: for each vector, for each cycle — positive
+            # conductances, then negative (differential), then currents.
+            cells = cfg.rows * cfg.cols
+            per_cycle = self._deviates_per_cycle()
+            flat = self.noise.draw_read_deviates(batch * cfg.input_cycles * per_cycle)
+            flat = flat.reshape(batch, cfg.input_cycles, per_cycle)
+            noise_pos = flat[:, :, :cells].reshape(batch, cfg.input_cycles, cfg.rows, cfg.cols)
+            if cfg.differential:
+                noise_neg = flat[:, :, cells : 2 * cells].reshape(
+                    batch, cfg.input_cycles, cfg.rows, cfg.cols
+                )
+            noise_cur = flat[:, :, per_cycle - cfg.cols :]
+        else:
+            # deterministic read path: hoist the effective conductances
+            g_pos_eff = self._conductance_pos
+            g_neg_eff = self._conductance_neg
+            if self._ir_drop_factors is not None:
+                g_pos_eff = g_pos_eff * self._ir_drop_factors
+                if cfg.differential:
+                    g_neg_eff = g_neg_eff * self._ir_drop_factors
+
+        accumulated = np.zeros((batch, cfg.cols), dtype=np.float64)
+        remaining = input_codes.copy()
+        cycle_weight = 1
+        for cycle in range(cfg.input_cycles):
+            slice_codes = remaining % dac_levels
+            remaining //= dac_levels
+
+            voltages = self.dac.drive(slice_codes, v_read)
+            if noise_pos is not None:
+                g_pos = self.noise.apply_read_with(self._conductance_pos, noise_pos[:, cycle])
+                if self._ir_drop_factors is not None:
+                    g_pos = g_pos * self._ir_drop_factors
+                currents = np.einsum("br,brc->bc", voltages, g_pos)
+                if cfg.differential:
+                    g_neg = self.noise.apply_read_with(
+                        self._conductance_neg, noise_neg[:, cycle]
+                    )
+                    if self._ir_drop_factors is not None:
+                        g_neg = g_neg * self._ir_drop_factors
+                    currents = currents - np.einsum("br,brc->bc", voltages, g_neg)
+            else:
+                currents = np.einsum("br,rc->bc", voltages, g_pos_eff)
+                if cfg.differential:
+                    currents = currents - np.einsum("br,rc->bc", voltages, g_neg_eff)
+            if not cfg.differential:
+                currents = currents - (np.sum(voltages, axis=1) * g_min)[:, None]
+            if noise_cur is not None:
+                currents = self.noise.perturb_current_with(currents, noise_cur[:, cycle])
+
+            if quantize_output:
+                if cfg.differential:
+                    currents = self.adc.convert_signed(currents, full_scale)
+                else:
+                    currents = self.adc.convert(np.clip(currents, 0.0, None), full_scale)
+
+            accumulated += currents * cycle_weight
+            cycle_weight *= dac_levels
+        return accumulated
 
     def ideal_matvec(self, inputs: np.ndarray) -> np.ndarray:
         """The mathematically exact ``inputs @ W`` for comparison in tests."""
         vector = as_1d_float_array(inputs, "inputs")
         return vector @ self.weights
 
-    def _record_cycle_access(self) -> None:
+    def _record_cycle_access(self, count: int = 1) -> None:
         cfg = self.config
-        self.stats.array_activations += 1
-        self.stats.cell_reads += cfg.num_cells
-        self.stats.adc_conversions += cfg.physical_cols
-        self.stats.dac_conversions += cfg.rows
+        self.stats.array_activations += count
+        self.stats.cell_reads += count * cfg.num_cells
+        self.stats.adc_conversions += count * cfg.physical_cols
+        self.stats.dac_conversions += count * cfg.rows
 
     # ------------------------------------------------------------------ #
     # per-access costs (aggregated by repro.arch)

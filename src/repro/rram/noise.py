@@ -71,6 +71,20 @@ class NoiseConfig:
             and self.stuck_off_fraction == 0.0
         )
 
+    @property
+    def is_programming_ideal(self) -> bool:
+        """True when the write path is ideal (no variation, no stuck cells).
+
+        The batched crossbar backend uses this to decide whether the
+        programmed conductances still sit exactly on the device's level
+        grid, which enables its exact integer-arithmetic VMM kernel.
+        """
+        return (
+            self.programming_sigma == 0.0
+            and self.stuck_on_fraction == 0.0
+            and self.stuck_off_fraction == 0.0
+        )
+
 
 IDEAL_NOISE = NoiseConfig()
 TYPICAL_NOISE = NoiseConfig(
@@ -140,3 +154,29 @@ class NoiseModel:
             return i.copy()
         noise = self._rng.normal(0.0, self.config.read_noise_sigma, size=i.shape)
         return i * (1.0 + noise)
+
+    # ------------------------------------------------------------------ #
+    # pre-drawn deviates (batched crossbar backend)
+    # ------------------------------------------------------------------ #
+    def draw_read_deviates(self, size: int) -> np.ndarray:
+        """Draw ``size`` read-noise deviates from the stream, in order.
+
+        NumPy's :class:`~numpy.random.Generator` fills arrays sequentially
+        and carries no state between calls, so one flat draw of ``n1 + n2``
+        deviates is element-for-element identical to two consecutive draws of
+        ``n1`` and ``n2``.  The batched crossbar path exploits this to
+        pre-draw the noise of a whole input block in exactly the order the
+        per-vector path would consume it, which is what makes
+        :meth:`repro.rram.crossbar.AnalogCrossbar.matvec_batch` bit-identical
+        to a loop of per-vector reads under seeded noise.
+        """
+        return self._rng.normal(0.0, self.config.read_noise_sigma, size=size)
+
+    def apply_read_with(self, conductance: np.ndarray, deviates: np.ndarray) -> np.ndarray:
+        """:meth:`apply_read` using pre-drawn deviates instead of the stream."""
+        g = np.asarray(conductance, dtype=np.float64)
+        return np.clip(g * (1.0 + deviates), 0.0, None)
+
+    def perturb_current_with(self, currents: np.ndarray, deviates: np.ndarray) -> np.ndarray:
+        """:meth:`perturb_current` using pre-drawn deviates."""
+        return np.asarray(currents, dtype=np.float64) * (1.0 + deviates)

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.accelerator import STARAccelerator
 from repro.core.config import MatMulEngineConfig, PipelineConfig, STARConfig, SoftmaxEngineConfig
-from repro.core.matmul_engine import GEMMShape, MatMulEngine
+from repro.core.matmul_engine import GEMMShape, MatMulEngine, ProgrammedOperand
 from repro.core.pipeline import AttentionPipeline, StageTiming, attention_streams
 from repro.nn.bert import BertWorkload
 from repro.utils.fixed_point import MRPC_FORMAT
@@ -98,6 +98,122 @@ class TestMatMulEngine:
         shape = GEMMShape(m=1, k=128, n=128)
         assert engine.programming_energy_j(shape) > 0
         assert engine.programming_latency_s(shape) > 0
+
+
+class TestTileBank:
+    """The persistent-operand (weight-stationary) functional path."""
+
+    def small_engine(self):
+        return MatMulEngine(
+            MatMulEngineConfig(
+                crossbar_rows=16,
+                crossbar_cols=16,
+                adc_bits=10,
+                num_tiles=4,
+                bits_per_cell=5,
+            )
+        )
+
+    def test_program_once_reuse_many(self, rng):
+        engine = self.small_engine()
+        b = rng.normal(size=(24, 20))  # ragged: 2x2 tile grid with padding
+        operand = engine.program_operand(b)
+        assert operand.shape == (24, 20)
+        assert operand.num_tiles == 4
+        pulses_after_programming = engine.access_stats.programming_pulses
+        assert pulses_after_programming == 4 * 2 * 16 * 16  # differential pairs
+
+        a = rng.normal(size=(6, 24))
+        first = engine.matmul(a, operand)
+        second = engine.matmul(a, operand)
+        # reuse re-programs nothing and (with ideal devices) is deterministic
+        assert engine.access_stats.programming_pulses == pulses_after_programming
+        np.testing.assert_array_equal(first, second)
+
+    def test_matmul_accepts_raw_matrix_and_programs_fresh_bank(self, rng):
+        engine = self.small_engine()
+        a = rng.normal(size=(4, 16))
+        b = rng.normal(size=(16, 16))
+        out = engine.matmul(a, b)
+        assert out.shape == (4, 16)
+        assert engine.access_stats.programming_pulses == 2 * 16 * 16
+        engine.matmul(a, b)
+        assert engine.access_stats.programming_pulses == 2 * 2 * 16 * 16
+
+    def test_programmed_operand_matches_dynamic_path(self, rng):
+        engine_static = self.small_engine()
+        engine_dynamic = self.small_engine()
+        a = rng.normal(size=(5, 24))
+        b = rng.normal(size=(24, 20))
+        operand = engine_static.program_operand(b)
+        np.testing.assert_array_equal(
+            engine_static.matmul(a, operand), engine_dynamic.matmul(a, b)
+        )
+
+    def test_accuracy_against_exact(self, rng):
+        engine = self.small_engine()
+        a = rng.normal(size=(8, 24))
+        b = rng.normal(size=(24, 20))
+        approx = engine.matmul(a, engine.program_operand(b))
+        exact = a @ b
+        correlation = np.corrcoef(approx.ravel(), exact.ravel())[0, 1]
+        assert correlation > 0.95
+
+    def test_read_stats_accumulate_per_matmul(self, rng):
+        engine = self.small_engine()
+        operand = engine.program_operand(rng.normal(size=(16, 16)))
+        assert engine.access_stats.vmm_ops == 0
+        engine.matmul(rng.normal(size=(3, 16)), operand)
+        assert engine.access_stats.vmm_ops == 3  # one VMM per activation row per tile
+        engine.matmul(rng.normal(size=(2, 16)), operand)
+        assert engine.access_stats.vmm_ops == 5
+
+    def test_matvec_tile_records_into_engine_stats(self, rng):
+        engine = self.small_engine()
+        engine.matvec_tile(rng.normal(size=(16, 16)), rng.uniform(0, 1, size=16))
+        assert engine.access_stats.vmm_ops == 1
+        assert engine.access_stats.programming_pulses == 2 * 16 * 16
+
+    def test_stats_derived_energy_and_latency(self, rng):
+        engine = self.small_engine()
+        operand = engine.program_operand(rng.normal(size=(16, 16)))
+        engine.matmul(rng.normal(size=(4, 16)), operand)
+        stats = engine.access_stats
+        assert engine.energy_j_of(stats) > 0
+        assert engine.latency_s_of(stats) > 0
+        # programming dominates the energy of a single small GEMM
+        read_only = type(stats)(
+            vmm_ops=stats.vmm_ops,
+            array_activations=stats.array_activations,
+            cell_reads=stats.cell_reads,
+            adc_conversions=stats.adc_conversions,
+            dac_conversions=stats.dac_conversions,
+        )
+        assert engine.energy_j_of(stats) > engine.energy_j_of(read_only)
+
+    def test_matmul_rejects_mismatched_operand(self, rng):
+        engine = self.small_engine()
+        operand = engine.program_operand(rng.normal(size=(16, 16)))
+        with pytest.raises(ValueError):
+            engine.matmul(rng.normal(size=(3, 24)), operand)
+
+    def test_failed_matmul_charges_no_programming(self, rng):
+        engine = self.small_engine()
+        with pytest.raises(ValueError):
+            engine.matmul(rng.normal(size=(3, 24)), rng.normal(size=(16, 16)))
+        assert engine.access_stats.programming_pulses == 0
+
+    def test_one_dimensional_operand_rejected(self, rng):
+        engine = self.small_engine()
+        with pytest.raises(ValueError):
+            engine.matmul(rng.normal(size=(3, 16)), rng.normal(size=16))
+        with pytest.raises(ValueError):
+            engine.program_operand(rng.normal(size=16))
+
+    def test_operand_is_engine_agnostic_container(self, rng):
+        operand = self.small_engine().program_operand(rng.normal(size=(16, 16)))
+        assert isinstance(operand, ProgrammedOperand)
+        assert operand.tiles[0].crossbar.is_programmed
 
 
 class TestPipeline:

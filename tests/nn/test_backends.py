@@ -1,0 +1,207 @@
+"""Tests for the pluggable compute backends (repro.nn.backend).
+
+Covers the IdealBackend's exactness against the seed model's plain-NumPy
+path, the AnalogBackend's weight-stationary caching, and the acceptance
+scenario of the backend refactor: a BERT encoder running end-to-end with
+*every* GEMM on simulated RRAM crossbar tiles and softmax on the RRAM
+softmax engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MatMulEngineConfig, SoftmaxEngineConfig
+from repro.core.matmul_engine import MatMulEngine
+from repro.core.softmax_engine import RRAMSoftmaxEngine
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.backend import AnalogBackend, ComputeBackend, IdealBackend
+from repro.nn.bert import BertConfig, BertEncoderModel
+from repro.nn.layers import FeedForward, Linear
+from repro.utils.fixed_point import CNEWS_FORMAT
+
+
+def analog_backend(tile=16):
+    """An AnalogBackend sized for functional fidelity on small models.
+
+    (`num_tiles` is left at its default: it parameterizes the analytical
+    cost path only — the functional tile bank allocates what the operand
+    needs.)
+    """
+    return AnalogBackend(
+        MatMulEngine(
+            MatMulEngineConfig(
+                crossbar_rows=tile,
+                crossbar_cols=tile,
+                adc_bits=10,
+                bits_per_cell=5,
+            )
+        )
+    )
+
+
+class TestIdealBackend:
+    def test_linear_matches_plain_numpy_exactly(self, rng):
+        x = rng.normal(size=(3, 5, 8))
+        w = rng.normal(size=(8, 4))
+        np.testing.assert_array_equal(IdealBackend().linear(x, w), x @ w)
+
+    def test_matmul_matches_plain_numpy_exactly(self, rng):
+        a = rng.normal(size=(2, 3, 4, 8))
+        b = rng.normal(size=(2, 3, 8, 4))
+        np.testing.assert_array_equal(IdealBackend().matmul(a, b), a @ b)
+
+    def test_default_linear_layer_unchanged_by_refactor(self, rng):
+        layer = Linear(8, 4, rng=np.random.default_rng(0))
+        x = rng.normal(size=(2, 8))
+        np.testing.assert_array_equal(layer(x), x @ layer.weight + layer.bias)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(IdealBackend(), ComputeBackend)
+        assert isinstance(AnalogBackend(MatMulEngine()), ComputeBackend)
+
+
+class TestAnalogBackend:
+    def test_linear_tracks_exact(self, rng):
+        backend = analog_backend()
+        layer = Linear(16, 16, rng=np.random.default_rng(0), backend=backend)
+        x = rng.normal(size=(1, 6, 16))
+        out = layer(x)
+        exact = x @ layer.weight + layer.bias
+        assert out.shape == exact.shape
+        correlation = np.corrcoef(out.ravel(), exact.ravel())[0, 1]
+        assert correlation > 0.95
+
+    def test_weight_stationary_caching(self, rng):
+        backend = analog_backend()
+        layer = Linear(16, 16, rng=np.random.default_rng(0), backend=backend)
+        x = rng.normal(size=(4, 16))
+        layer(x)
+        pulses = backend.access_stats.programming_pulses
+        assert pulses == 2 * 16 * 16  # one differential tile, programmed once
+        layer(x)
+        layer(rng.normal(size=(4, 16)))
+        assert backend.access_stats.programming_pulses == pulses
+
+    def test_in_place_weight_update_reprograms_bank(self, rng):
+        backend = analog_backend()
+        layer = Linear(16, 16, rng=np.random.default_rng(0), backend=backend)
+        x = rng.normal(size=(4, 16))
+        layer(x)
+        pulses = backend.access_stats.programming_pulses
+        layer.weight[:] = rng.normal(size=(16, 16))  # load new weights in place
+        out = layer(x)
+        assert backend.access_stats.programming_pulses == 2 * pulses
+        exact = x @ layer.weight + layer.bias
+        correlation = np.corrcoef(out.ravel(), exact.ravel())[0, 1]
+        assert correlation > 0.95  # computed with the new weights, not stale ones
+
+    def test_cache_evicts_collected_weights(self, rng):
+        import gc
+
+        backend = analog_backend()
+        for _ in range(3):
+            layer = Linear(16, 16, rng=np.random.default_rng(0), backend=backend)
+            layer(rng.normal(size=(2, 16)))
+            del layer
+            gc.collect()
+        assert len(backend._operands) == 0  # dead weights do not pin tile banks
+
+    def test_distinct_weights_get_distinct_banks(self, rng):
+        backend = analog_backend()
+        first = Linear(16, 16, rng=np.random.default_rng(0), backend=backend)
+        second = Linear(16, 16, rng=np.random.default_rng(1), backend=backend)
+        x = rng.normal(size=(2, 16))
+        first(x)
+        second(x)
+        assert backend.access_stats.programming_pulses == 2 * 2 * 16 * 16
+
+    def test_dynamic_matmul_reprograms_each_call(self, rng):
+        backend = analog_backend()
+        a = rng.normal(size=(4, 16))
+        b = rng.normal(size=(16, 16))
+        backend.matmul(a, b)
+        backend.matmul(a, b)
+        assert backend.access_stats.programming_pulses == 2 * 2 * 16 * 16
+
+    def test_stacked_matmul(self, rng):
+        backend = analog_backend()
+        a = rng.normal(size=(2, 3, 8, 16))
+        b = rng.normal(size=(2, 3, 16, 8))
+        out = backend.matmul(a, b)
+        exact = a @ b
+        assert out.shape == exact.shape
+        correlation = np.corrcoef(out.ravel(), exact.ravel())[0, 1]
+        assert correlation > 0.9
+
+    def test_stacked_matmul_rejects_mismatched_leading_dims(self, rng):
+        backend = analog_backend()
+        with pytest.raises(ValueError):
+            backend.matmul(rng.normal(size=(2, 4, 16)), rng.normal(size=(3, 16, 4)))
+
+    def test_feed_forward_on_analog_backend(self, rng):
+        backend = analog_backend()
+        ffn = FeedForward(16, 32, rng=np.random.default_rng(0), backend=backend)
+        x = rng.normal(size=(1, 4, 16)) * 0.5
+        out = ffn(x)
+        assert out.shape == (1, 4, 16)
+        assert np.all(np.isfinite(out))
+
+
+class TestAnalogAttentionAndBert:
+    def test_attention_all_gemms_analog(self, rng):
+        backend = analog_backend()
+        exact_attention = MultiHeadAttention(16, 4, rng=np.random.default_rng(0))
+        analog_attention = MultiHeadAttention(
+            16, 4, rng=np.random.default_rng(0), backend=backend
+        )
+        x = rng.normal(size=(1, 6, 16))
+        out_exact = exact_attention(x)
+        out_analog = analog_attention(x)
+        correlation = np.corrcoef(out_exact.ravel(), out_analog.ravel())[0, 1]
+        assert correlation > 0.9
+        # 4 stationary projections + dynamic score/context operands per head
+        assert backend.access_stats.programming_pulses > 4 * 2 * 16 * 16
+
+    def test_full_analog_bert_encoder(self, rng):
+        """Acceptance: BERT forward with AnalogBackend GEMMs + RRAM softmax."""
+        config = BertConfig(
+            num_layers=2,
+            hidden=32,
+            num_heads=4,
+            intermediate=64,
+            vocab_size=64,
+            max_positions=32,
+        )
+        backend = analog_backend(tile=32)
+        softmax_engine = RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+        reference = BertEncoderModel(config, seed=1)
+        analog = BertEncoderModel(
+            config, seed=1, softmax_fn=softmax_engine, backend=backend
+        )
+        ids = rng.integers(0, 64, size=(1, 32))
+        out_ref = reference(ids)
+        out_analog = analog(ids)
+        assert out_analog.shape == out_ref.shape
+        assert np.all(np.isfinite(out_analog))
+        correlation = np.corrcoef(out_ref.ravel(), out_analog.ravel())[0, 1]
+        assert correlation > 0.9
+        # both engines saw real work
+        assert softmax_engine.access_stats.rows > 0
+        assert backend.access_stats.vmm_ops > 0
+        assert backend.access_stats.programming_pulses > 0
+
+    def test_backend_swap_is_one_constructor_argument(self, rng):
+        config = BertConfig(
+            num_layers=1,
+            hidden=16,
+            num_heads=2,
+            intermediate=32,
+            vocab_size=32,
+            max_positions=8,
+        )
+        ids = rng.integers(0, 32, size=(1, 8))
+        ideal_out = BertEncoderModel(config, seed=0, backend=IdealBackend())(ids)
+        default_out = BertEncoderModel(config, seed=0)(ids)
+        np.testing.assert_array_equal(ideal_out, default_out)

@@ -33,6 +33,32 @@ class TestADC:
         lsb = 1.0 / (adc.num_levels - 1)
         assert np.max(np.abs(recovered - values)) <= lsb / 2 + 1e-12
 
+    def test_convert_handles_nd_blocks(self, rng):
+        """Whole (cycles, batch, cols) current tensors convert in one call."""
+        adc = ADC(bits=5)
+        block = rng.uniform(0, 1, size=(4, 6, 8))
+        converted = adc.convert(block, full_scale=1.0)
+        assert converted.shape == block.shape
+        np.testing.assert_array_equal(
+            converted[2], adc.convert(block[2], full_scale=1.0)
+        )
+
+    def test_convert_signed_matches_sign_magnitude_sequence(self, rng):
+        adc = ADC(bits=5)
+        values = rng.normal(size=(3, 16))
+        fused = adc.convert_signed(values, full_scale=1.0)
+        explicit = np.sign(values) * adc.convert(np.abs(values), full_scale=1.0)
+        np.testing.assert_array_equal(fused, explicit)
+
+    def test_convert_out_parameter_is_in_place(self, rng):
+        adc = ADC(bits=4)
+        values = rng.uniform(0, 1, size=32)
+        expected = adc.convert(values, full_scale=1.0)
+        buffer = values.copy()
+        result = adc.convert(buffer, full_scale=1.0, out=buffer)
+        assert result is buffer
+        np.testing.assert_array_equal(result, expected)
+
     def test_invalid_bits(self):
         with pytest.raises(ValueError):
             ADC(bits=0)

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.rram.crossbar import AccessStats, AnalogCrossbar, CrossbarConfig
+from repro.rram.crossbar import AnalogCrossbar, CrossbarAccessStats, CrossbarConfig
 from repro.rram.noise import NoiseConfig
 
 
@@ -164,8 +164,8 @@ class TestCostsAndStats:
         assert crossbar.stats.dac_conversions == 8 * crossbar.config.input_cycles
 
     def test_access_stats_merge(self):
-        a = AccessStats(vmm_ops=1, cell_reads=10)
-        b = AccessStats(vmm_ops=2, cell_reads=5, adc_conversions=3)
+        a = CrossbarAccessStats(vmm_ops=1, cell_reads=10)
+        b = CrossbarAccessStats(vmm_ops=2, cell_reads=5, adc_conversions=3)
         a.merge(b)
         assert a.vmm_ops == 3
         assert a.cell_reads == 15
