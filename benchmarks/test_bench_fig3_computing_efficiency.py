@@ -9,9 +9,12 @@ from __future__ import annotations
 from repro.analysis.efficiency import EfficiencyComparison
 from repro.nn.bert import BertWorkload
 
+import pytest
+
 from conftest import record
 
 
+@pytest.mark.smoke
 def test_bench_fig3_efficiency_comparison(benchmark, paper_values):
     """Full four-design comparison on the BERT-base / seq-128 workload."""
     comparison = EfficiencyComparison(workload=BertWorkload(seq_len=128))

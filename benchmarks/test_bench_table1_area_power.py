@@ -23,6 +23,8 @@ from repro.core.config import SoftmaxEngineConfig
 from repro.core.softmax_engine import RRAMSoftmaxEngine
 from repro.utils.fixed_point import CNEWS_FORMAT
 
+import pytest
+
 from conftest import record
 
 SEQ_LEN = 128
@@ -35,6 +37,7 @@ def _build_units():
     return baseline, softermax, star
 
 
+@pytest.mark.smoke
 def test_bench_table1_area_power(benchmark, paper_values):
     """Area / power of the three softmax designs and their Table-I ratios."""
     baseline, softermax, star = benchmark(_build_units)

@@ -8,7 +8,12 @@ from repro.analysis.ablation import (
 )
 from repro.analysis.accuracy import AccuracyAnalyzer, FidelityMetrics, PrecisionSweepPoint
 from repro.analysis.bitwidth import BitwidthAnalyzer, BitwidthRequirement
-from repro.analysis.breakdown import BreakdownRow, LatencyBreakdownAnalyzer
+from repro.analysis.breakdown import (
+    BreakdownRow,
+    LatencyBreakdownAnalyzer,
+    StarScheduleAnalyzer,
+    StarScheduleRow,
+)
 from repro.analysis.efficiency import EfficiencyComparison, Figure3Results
 
 __all__ = [
@@ -19,6 +24,8 @@ __all__ = [
     "PrecisionSweepPoint",
     "LatencyBreakdownAnalyzer",
     "BreakdownRow",
+    "StarScheduleAnalyzer",
+    "StarScheduleRow",
     "EfficiencyComparison",
     "Figure3Results",
     "AblationSuite",

@@ -3,7 +3,9 @@
 Three ablations the paper's design decisions imply but do not tabulate:
 
 * **pipeline granularity** (E7) — vector-grained vs operand-grained
-  scheduling of the attention chain, across sequence lengths;
+  scheduling of the attention chain, across sequence lengths; each point
+  is computed analytically *and* executed through the event-driven
+  scheduler, cross-validating the closed-form model;
 * **softmax precision** (E8) — how the engine's area/power and the softmax
   fidelity trade off as the fixed-point format is swept;
 * **device non-idealities** (E9) — Monte-Carlo sweep of RRAM read noise /
@@ -36,16 +38,35 @@ __all__ = [
 
 @dataclass(frozen=True)
 class PipelineAblationRow:
-    """Vector- vs operand-grained latency at one sequence length."""
+    """Vector- vs operand-grained latency at one sequence length.
+
+    Each schedule is evaluated twice: with the closed-form analytical
+    formulas (``vector_latency_s`` / ``operand_latency_s``) and by the
+    event-driven executor running the same rows through discrete stream and
+    engine resources (``executed_*``).  The executed numbers cross-validate
+    the formulas — ``speedup_deviation`` is the E7 acceptance metric.
+    """
 
     seq_len: int
     vector_latency_s: float
     operand_latency_s: float
+    executed_vector_latency_s: float
+    executed_operand_latency_s: float
 
     @property
     def speedup(self) -> float:
-        """Speedup of the vector-grained pipeline."""
+        """Analytical speedup of the vector-grained pipeline."""
         return self.operand_latency_s / self.vector_latency_s
+
+    @property
+    def executed_speedup(self) -> float:
+        """Executed (event-driven) speedup of the vector-grained pipeline."""
+        return self.executed_operand_latency_s / self.executed_vector_latency_s
+
+    @property
+    def speedup_deviation(self) -> float:
+        """Relative deviation of the executed speedup from the analytical one."""
+        return abs(self.executed_speedup - self.speedup) / self.speedup
 
 
 @dataclass(frozen=True)
@@ -82,23 +103,42 @@ class AblationSuite:
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
 
+    def accelerator(self) -> STARAccelerator:
+        """The accelerator configuration every E7 point runs on."""
+        return STARAccelerator()
+
     # ------------------------------------------------------------------ #
     # E7: pipeline granularity
     # ------------------------------------------------------------------ #
     def pipeline_ablation(
         self, seq_lens: list[int] | tuple[int, ...] = (128, 256, 512)
     ) -> list[PipelineAblationRow]:
-        """Attention-chain latency under both schedules, per sequence length."""
-        accelerator = STARAccelerator()
+        """Attention-chain latency under both schedules, per sequence length.
+
+        Every (granularity, seq_len) point is computed both analytically and
+        by executing the rows through the event-driven scheduler with the
+        accelerator's discrete head-streams and softmax-engine pool.
+        """
+        accelerator = self.accelerator()
         rows = []
         for seq_len in seq_lens:
             workload = BertWorkload(seq_len=seq_len)
             timing = accelerator.attention_stage_timing(workload)
             vector = accelerator.pipeline.vector_grained_latency(timing).total_latency_s
             operand = accelerator.pipeline.operand_grained_latency(timing).total_latency_s
+            executed_vector = accelerator.executed_attention_schedule(
+                workload, granularity="vector"
+            ).total_latency_s
+            executed_operand = accelerator.executed_attention_schedule(
+                workload, granularity="operand"
+            ).total_latency_s
             rows.append(
                 PipelineAblationRow(
-                    seq_len=seq_len, vector_latency_s=vector, operand_latency_s=operand
+                    seq_len=seq_len,
+                    vector_latency_s=vector,
+                    operand_latency_s=operand,
+                    executed_vector_latency_s=executed_vector,
+                    executed_operand_latency_s=executed_operand,
                 )
             )
         return rows

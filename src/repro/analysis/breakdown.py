@@ -1,10 +1,19 @@
-"""Softmax-vs-matmul latency breakdown (the paper's introductory observation).
+"""Latency breakdowns: the GPU motivation (E1) and STAR's executed schedule.
 
-The experiment behind E1: run the GPU inference model across a sweep of
-sequence lengths and report, for each length, the share of execution time
-spent in softmax.  The paper's headline numbers are that softmax overtakes
-matrix multiplication at sequence length 512 and reaches 59.20 % of BERT-base
-execution time there.
+Two analyzers live here:
+
+* :class:`LatencyBreakdownAnalyzer` — the experiment behind E1: run the GPU
+  inference model across a sweep of sequence lengths and report, for each
+  length, the share of execution time spent in softmax.  The paper's
+  headline numbers are that softmax overtakes matrix multiplication at
+  sequence length 512 and reaches 59.20 % of BERT-base execution time there.
+* :class:`StarScheduleAnalyzer` — the executed counterpart on the STAR
+  side: for each sequence length, run the attention rows through the
+  event-driven :class:`~repro.core.scheduler.PipelineExecutor` and compare
+  the measured pipeline latency, steady-state interval and softmax-engine
+  occupancy against the closed-form
+  :class:`~repro.core.pipeline.AttentionPipeline` prediction.  This is
+  where E7-style speedups come from execution rather than formulas.
 """
 
 from __future__ import annotations
@@ -12,10 +21,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.baselines.gpu import GPUModel
+from repro.core.accelerator import STARAccelerator
 from repro.nn.bert import BertConfig, BERT_BASE, BertWorkload
 from repro.workloads.sweeps import INTRO_SEQUENCE_SWEEP, SequenceLengthSweep
 
-__all__ = ["BreakdownRow", "LatencyBreakdownAnalyzer"]
+__all__ = [
+    "BreakdownRow",
+    "LatencyBreakdownAnalyzer",
+    "StarScheduleRow",
+    "StarScheduleAnalyzer",
+]
 
 
 @dataclass(frozen=True)
@@ -72,5 +87,75 @@ class LatencyBreakdownAnalyzer:
             lines.append(
                 f"{row.seq_len:>8d} {row.matmul_s * 1e3:>12.3f} "
                 f"{row.softmax_s * 1e3:>13.3f} {row.softmax_share * 100:>13.2f}%"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class StarScheduleRow:
+    """Executed vs analytical attention-pipeline latency at one length."""
+
+    seq_len: int
+    analytical_s: float
+    executed_s: float
+    steady_interval_s: float
+    softmax_utilization: float
+    softmax_queue_peak: int
+
+    @property
+    def deviation(self) -> float:
+        """Relative deviation of the executed latency from the prediction."""
+        return abs(self.executed_s - self.analytical_s) / self.analytical_s
+
+
+class StarScheduleAnalyzer:
+    """Cross-validates STAR's executed attention schedule against the formulas."""
+
+    def __init__(
+        self,
+        accelerator: STARAccelerator | None = None,
+        bert_config: BertConfig = BERT_BASE,
+        sweep: SequenceLengthSweep | tuple[int, ...] = (128, 256, 512),
+        batch_size: int = 1,
+    ) -> None:
+        self.accelerator = accelerator or STARAccelerator()
+        self.bert_config = bert_config
+        self.sweep = sweep
+        self.batch_size = batch_size
+
+    def row_for(self, seq_len: int) -> StarScheduleRow:
+        """Executed-vs-analytical comparison at one sequence length."""
+        workload = BertWorkload(
+            config=self.bert_config, seq_len=seq_len, batch_size=self.batch_size
+        )
+        star = self.accelerator
+        analytical = star.pipeline.vector_grained_latency(
+            star.attention_stage_timing(workload)
+        )
+        executed = star.executed_attention_schedule(workload, granularity="vector")
+        return StarScheduleRow(
+            seq_len=seq_len,
+            analytical_s=analytical.total_latency_s,
+            executed_s=executed.total_latency_s,
+            steady_interval_s=executed.steady_state_interval_s,
+            softmax_utilization=executed.utilization("softmax"),
+            softmax_queue_peak=executed.queue_peaks["softmax"],
+        )
+
+    def sweep_rows(self) -> list[StarScheduleRow]:
+        """Comparison across the configured sequence-length sweep."""
+        return [self.row_for(seq_len) for seq_len in self.sweep]
+
+    def format_table(self) -> str:
+        """Printable executed-vs-analytical cross-validation table."""
+        lines = [
+            f"{'seq_len':>8} {'analytical (us)':>16} {'executed (us)':>14} "
+            f"{'dev':>7} {'sm util':>8} {'sm queue':>9}"
+        ]
+        for row in self.sweep_rows():
+            lines.append(
+                f"{row.seq_len:>8d} {row.analytical_s * 1e6:>16.2f} "
+                f"{row.executed_s * 1e6:>14.2f} {row.deviation * 100:>6.2f}% "
+                f"{row.softmax_utilization * 100:>7.1f}% {row.softmax_queue_peak:>9d}"
             )
         return "\n".join(lines)

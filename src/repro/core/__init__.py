@@ -14,6 +14,14 @@ from repro.core.divider import DividerUnit
 from repro.core.exponent import ExponentBatchResult, ExponentialUnit, ExponentResult
 from repro.core.matmul_engine import GEMMShape, MatMulEngine, ProgrammedOperand
 from repro.core.pipeline import AttentionPipeline, PipelineSchedule, StageTiming
+from repro.core.scheduler import (
+    AttentionExecution,
+    AttentionExecutor,
+    ExecutedSchedule,
+    PipelineExecutor,
+    RowRecord,
+    StageJitter,
+)
 from repro.core.softmax_engine import RRAMSoftmaxEngine, SoftmaxRowTrace
 
 __all__ = [
@@ -38,6 +46,12 @@ __all__ = [
     "AttentionPipeline",
     "StageTiming",
     "PipelineSchedule",
+    "PipelineExecutor",
+    "ExecutedSchedule",
+    "RowRecord",
+    "StageJitter",
+    "AttentionExecutor",
+    "AttentionExecution",
     "STARAccelerator",
     "LayerLatencyBreakdown",
 ]

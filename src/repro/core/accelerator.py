@@ -21,12 +21,16 @@ from repro.arch.report import CostReport
 from repro.arch.system import DEFAULT_SYSTEM_OVERHEAD, SystemOverheadModel
 from repro.core.config import STARConfig
 from repro.core.matmul_engine import GEMMShape, MatMulEngine
-from repro.core.pipeline import AttentionPipeline, StageTiming, attention_streams
+from repro.core.pipeline import AttentionPipeline, PipelineSchedule, StageTiming, attention_streams
+from repro.core.scheduler import ExecutedSchedule, PipelineExecutor, StageJitter
 from repro.core.softmax_engine import RRAMSoftmaxEngine
 from repro.nn.bert import BertWorkload
 from repro.utils.validation import require_positive
 
 __all__ = ["LayerLatencyBreakdown", "STARAccelerator"]
+
+#: Valid values of the ``schedule`` constructor argument.
+SCHEDULES = ("analytical", "executed")
 
 
 @dataclass(frozen=True)
@@ -50,7 +54,19 @@ class LayerLatencyBreakdown:
 
 
 class STARAccelerator:
-    """Architectural model of the full STAR accelerator."""
+    """Architectural model of the full STAR accelerator.
+
+    ``schedule`` selects how the attention-pipeline latency is obtained:
+    ``"analytical"`` evaluates the closed-form
+    :class:`~repro.core.pipeline.AttentionPipeline` formulas (the fast
+    default), ``"executed"`` runs the workload's rows through the
+    event-driven :class:`~repro.core.scheduler.PipelineExecutor` with the
+    accelerator's actual resources — ``attention_streams`` parallel tile
+    groups for the GEMM stages and ``num_softmax_engines`` discrete softmax
+    engines — and reports the simulated makespan.  ``jitter`` optionally
+    perturbs the executed per-row stage times (ignored by the analytical
+    schedule, which cannot express it).
+    """
 
     name = "STAR"
 
@@ -59,13 +75,19 @@ class STARAccelerator:
         config: STARConfig | None = None,
         num_softmax_engines: int = 64,
         system_overhead: SystemOverheadModel = DEFAULT_SYSTEM_OVERHEAD,
+        schedule: str = "analytical",
+        jitter: StageJitter | None = None,
     ) -> None:
         require_positive(num_softmax_engines, "num_softmax_engines")
+        if schedule not in SCHEDULES:
+            raise ValueError(f"schedule must be one of {SCHEDULES}, got {schedule!r}")
         self.config = config or STARConfig()
         self.matmul_engine = MatMulEngine(self.config.matmul)
         self.softmax_engine = RRAMSoftmaxEngine(self.config.softmax)
         self.num_softmax_engines = num_softmax_engines
         self.pipeline = AttentionPipeline(self.config.pipeline)
+        self.schedule = schedule
+        self.jitter = jitter
         self.system_overhead = system_overhead
 
     # ------------------------------------------------------------------ #
@@ -92,26 +114,79 @@ class STARAccelerator:
         by the number of parallel softmax engines: the timings describe the
         *aggregate* row intervals the pipeline model consumes.
         """
+        native = self.native_attention_stage_timing(workload)
+        streams = attention_streams(
+            workload.config.num_heads, workload.batch_size, self.config.matmul.num_tiles
+        )
+        return StageTiming(
+            score_row_s=native.score_row_s / streams,
+            softmax_row_s=native.softmax_row_s / self.num_softmax_engines,
+            context_row_s=native.context_row_s / streams,
+            num_rows=native.num_rows,
+        )
+
+    def native_attention_stage_timing(self, workload: BertWorkload) -> StageTiming:
+        """Per-row stage timings as one server of each stage sees them.
+
+        Unlike :meth:`attention_stage_timing` nothing is divided by the
+        stream or engine counts — these are the service times of one tile
+        group / one softmax engine, which is what the event-driven executor
+        consumes (it models the parallelism with discrete servers instead
+        of rate scaling).
+        """
         cfg = workload.config
         seq_len = workload.seq_len
         score_shape = GEMMShape(m=1, k=cfg.head_dim, n=seq_len)
         context_shape = GEMMShape(m=1, k=seq_len, n=cfg.head_dim)
-        num_rows = workload.batch_size * cfg.num_heads * seq_len
-        streams = attention_streams(
-            cfg.num_heads, workload.batch_size, self.config.matmul.num_tiles
-        )
-        softmax_row = self.softmax_engine.row_latency_s(seq_len) / self.num_softmax_engines
         return StageTiming(
-            score_row_s=self.matmul_engine.row_latency_s(score_shape) / streams,
-            softmax_row_s=softmax_row,
-            context_row_s=self.matmul_engine.row_latency_s(context_shape) / streams,
-            num_rows=num_rows,
+            score_row_s=self.matmul_engine.row_latency_s(score_shape),
+            softmax_row_s=self.softmax_engine.row_latency_s(seq_len),
+            context_row_s=self.matmul_engine.row_latency_s(context_shape),
+            num_rows=workload.batch_size * cfg.num_heads * seq_len,
         )
+
+    def attention_executor(self, workload: BertWorkload) -> PipelineExecutor:
+        """The event-driven executor provisioned for this workload."""
+        streams = attention_streams(
+            workload.config.num_heads, workload.batch_size, self.config.matmul.num_tiles
+        )
+        return PipelineExecutor(
+            self.config.pipeline,
+            streams=streams,
+            softmax_engines=self.num_softmax_engines,
+            jitter=self.jitter,
+        )
+
+    def executed_attention_schedule(
+        self, workload: BertWorkload, granularity: str | None = None
+    ) -> ExecutedSchedule:
+        """Run the workload's attention rows through the event-driven executor.
+
+        ``granularity`` overrides the configured pipeline granularity for
+        this one execution (``None`` keeps the configured one).
+        """
+        executor = self.attention_executor(workload)
+        timing = self.native_attention_stage_timing(workload)
+        if granularity == "vector":
+            return executor.execute_vector(timing)
+        if granularity == "operand":
+            return executor.execute_operand(timing)
+        if granularity is not None:
+            raise ValueError(
+                f"granularity must be 'vector', 'operand' or None, got {granularity!r}"
+            )
+        return executor.execute(timing)
+
+    def attention_pipeline_schedule(self, workload: BertWorkload) -> PipelineSchedule:
+        """Attention-pipeline latency under the configured schedule source."""
+        if self.schedule == "executed":
+            return self.executed_attention_schedule(workload).as_pipeline_schedule()
+        return self.pipeline.latency(self.attention_stage_timing(workload))
 
     def layer_latency_breakdown(self, workload: BertWorkload) -> LayerLatencyBreakdown:
         """Latency components of one encoder layer."""
         timing = self.attention_stage_timing(workload)
-        schedule = self.pipeline.latency(timing)
+        schedule = self.attention_pipeline_schedule(workload)
         softmax_only = timing.softmax_row_s * timing.num_rows
         return LayerLatencyBreakdown(
             projection_s=self._projection_latency_s(workload),

@@ -70,9 +70,11 @@ class StageTiming:
     num_rows: int
 
     def __post_init__(self) -> None:
-        require_positive(self.score_row_s, "score_row_s")
-        require_positive(self.softmax_row_s, "softmax_row_s")
-        require_positive(self.context_row_s, "context_row_s")
+        # zero-cost stages are legitimate ablation points (e.g. "what if
+        # softmax were free?"), so only negative latencies are rejected
+        require_non_negative(self.score_row_s, "score_row_s")
+        require_non_negative(self.softmax_row_s, "softmax_row_s")
+        require_non_negative(self.context_row_s, "context_row_s")
         if self.num_rows < 1:
             raise ValueError(f"num_rows must be >= 1, got {self.num_rows}")
 
@@ -96,7 +98,8 @@ class PipelineSchedule:
     steady_state_interval_s: float
 
     def __post_init__(self) -> None:
-        require_positive(self.total_latency_s, "total_latency_s")
+        # an all-zero-stage ablation with zero handoff yields total == 0
+        require_non_negative(self.total_latency_s, "total_latency_s")
         require_non_negative(self.steady_state_interval_s, "steady_state_interval_s")
 
 
@@ -146,4 +149,8 @@ class AttentionPipeline:
         """Vector-grained speedup over the operand-grained schedule."""
         coarse = self.operand_grained_latency(timing).total_latency_s
         fine = self.vector_grained_latency(timing).total_latency_s
+        if fine == 0.0:
+            # all-zero stages with zero handoff: both schedules are free,
+            # which can only mean parity
+            return 1.0
         return coarse / fine

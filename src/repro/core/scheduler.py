@@ -1,0 +1,731 @@
+"""Event-driven executor of the vector-grained attention pipeline.
+
+:mod:`repro.core.pipeline` *predicts* the latency of the
+``score GEMM -> softmax -> context GEMM`` chain with closed-form formulas;
+this module *executes* the schedule.  Rows flow through an event-driven
+simulation of the three stages, each backed by real resources:
+
+* the **score** and **context** stages are served by per-head-stream tile
+  groups of the MatMul engine (one server per concurrent head-stream, see
+  :func:`repro.core.pipeline.attention_streams`) — a row is bound to its
+  stream's tiles and streams proceed in parallel;
+* the **softmax** stage is served by a shared pool of RRAM softmax
+  engines; a finished score row enters one FIFO queue and is dispatched to
+  the first engine that frees up (engines may have different speeds — the
+  unbalanced-pool scenario).
+
+Executed-vs-analytical semantics
+--------------------------------
+
+Both models charge the same per-row stage service times and the same
+``stage_handoff_s`` forwarding overhead.  In the executor a server is
+occupied for ``service + handoff`` per row (it forwards its result before
+accepting the next row) and the row reaches the next stage's queue at
+``service_end + handoff``; a row *completes* when its context-GEMM service
+ends.  With one server per stage and no jitter this reproduces
+:meth:`~repro.core.pipeline.AttentionPipeline.vector_grained_latency`
+**exactly** (``fill + (n - 1) * (bottleneck + handoff)``), and the
+operand-grained executor — every stage drains all rows before the next
+starts, one handoff per stage boundary — reproduces
+:meth:`~repro.core.pipeline.AttentionPipeline.operand_grained_latency`
+exactly.  With engine pools the analytical model approximates a ``k``-wide
+pool as a single ``k``-times-faster server; the executed schedule keeps the
+discrete servers, so the two agree only up to pipeline-fill and
+handoff-amortisation terms — the cross-validation suite
+(``tests/core/test_scheduler_crossval.py``) pins the tolerance.
+
+What the executor adds over the formulas is everything they cannot
+express: per-row stage jitter, unbalanced engine pools, multi-sequence
+tile contention, queue depths and per-engine occupancy — and, through
+:class:`AttentionExecutor`, the ability to push **real tensors** through
+the schedule: actual score rows produced by
+:class:`~repro.core.matmul_engine.MatMulEngine` tile banks, softmaxed by a
+pool of :class:`~repro.core.softmax_engine.RRAMSoftmaxEngine` instances
+and contracted against ``V``, with every per-row service time *measured*
+from the access-statistics ledgers the engines accumulate rather than
+assumed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import PipelineSchedule, StageTiming, attention_streams
+from repro.utils.validation import require_non_negative, require_positive
+
+if TYPE_CHECKING:
+    from repro.core.matmul_engine import MatMulEngine
+    from repro.core.softmax_engine import RRAMSoftmaxEngine
+
+__all__ = [
+    "STAGES",
+    "StageJitter",
+    "RowRecord",
+    "ExecutedSchedule",
+    "PipelineExecutor",
+    "AttentionExecution",
+    "AttentionExecutor",
+]
+
+#: The three pipeline stages, in dataflow order.
+STAGES = ("score", "softmax", "context")
+
+
+@dataclass(frozen=True)
+class StageJitter:
+    """Per-row multiplicative jitter on the stage service times.
+
+    Each (row, stage) service time is scaled by ``exp(sigma * z)`` with
+    ``z ~ N(0, 1)`` drawn from a generator seeded with ``seed`` — log-normal
+    factors keep every service time positive.  ``sigma = 0`` disables the
+    draw entirely, so a jitter-free executor stays bit-deterministic.
+    """
+
+    sigma: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.sigma, "sigma")
+
+    def factors(self, num_rows: int) -> np.ndarray:
+        """A ``(num_rows, 3)`` matrix of service-time scale factors."""
+        if self.sigma == 0.0:
+            return np.ones((num_rows, len(STAGES)))
+        rng = np.random.default_rng(self.seed)
+        return np.exp(self.sigma * rng.standard_normal((num_rows, len(STAGES))))
+
+
+@dataclass(frozen=True)
+class RowRecord:
+    """Timestamps of one row's trip through the executed pipeline."""
+
+    row: int
+    stream: int
+    engine: int
+    score_start_s: float
+    score_end_s: float
+    softmax_start_s: float
+    softmax_end_s: float
+    context_start_s: float
+    context_end_s: float
+
+    @property
+    def completion_s(self) -> float:
+        """When the row's context-GEMM service ended (pipeline exit)."""
+        return self.context_end_s
+
+    @property
+    def softmax_queue_wait_s(self) -> float:
+        """Time the row spent queued between score completion and softmax."""
+        return self.softmax_start_s - self.score_end_s
+
+
+@dataclass(frozen=True)
+class ExecutedSchedule:
+    """Result of executing one attention computation through the pipeline.
+
+    The measured counterpart of the analytical
+    :class:`~repro.core.pipeline.PipelineSchedule`: total latency and
+    steady-state interval come from the simulated event times, and the
+    execution additionally exposes per-stage busy times, peak queue depths
+    and the per-engine row assignment the formulas cannot see.
+    """
+
+    granularity: str
+    total_latency_s: float
+    steady_state_interval_s: float
+    num_streams: int
+    num_softmax_engines: int
+    records: tuple[RowRecord, ...]
+    stage_busy_s: dict[str, float]
+    queue_peaks: dict[str, int]
+    engine_rows: tuple[int, ...]
+
+    @property
+    def num_rows(self) -> int:
+        """Rows that completed the pipeline."""
+        return len(self.records)
+
+    def utilization(self, stage: str) -> float:
+        """Busy fraction of the stage's servers over the whole execution."""
+        if stage not in STAGES:
+            raise ValueError(f"unknown stage {stage!r}; expected one of {STAGES}")
+        servers = self.num_softmax_engines if stage == "softmax" else self.num_streams
+        if self.total_latency_s == 0.0:
+            return 0.0
+        return self.stage_busy_s[stage] / (servers * self.total_latency_s)
+
+    def as_pipeline_schedule(self) -> PipelineSchedule:
+        """This execution in the analytical result type (for comparisons)."""
+        return PipelineSchedule(
+            granularity=self.granularity,
+            total_latency_s=self.total_latency_s,
+            steady_state_interval_s=self.steady_state_interval_s,
+        )
+
+
+def _steady_interval(completions: np.ndarray, total: float) -> float:
+    """Average inter-completion gap over the middle half of the rows.
+
+    The first and last quarters are discarded as pipeline fill and drain;
+    with fewer than eight rows there is no steady state to speak of and the
+    mean completion rate is reported instead.
+    """
+    n = completions.size
+    ordered = np.sort(completions)
+    if n < 8:
+        return total / n
+    lo, hi = n // 4, n - n // 4 - 1
+    return float((ordered[hi] - ordered[lo]) / (hi - lo))
+
+
+# Event kinds: a server finishing its forward (FREE) is processed before a
+# row arriving at the same instant (ARRIVE) so the arrival sees the idle
+# server directly; either order yields identical start times, FREE-first
+# just avoids a redundant queue round-trip.
+_FREE, _ARRIVE = 0, 1
+
+
+class _Stage:
+    """One pipeline stage: a set of servers with FIFO queues.
+
+    ``keyed=True`` binds each row to the server given by its stream (the
+    per-stream tile groups of the score/context GEMMs); ``keyed=False`` is
+    a shared pool (the softmax engines) with one queue drained by whichever
+    server frees first.  ``speedups`` divides the per-row service time of
+    each server (heterogeneous pools).
+    """
+
+    def __init__(self, name: str, num_servers: int, *, keyed: bool, speedups: Sequence[float]) -> None:
+        self.name = name
+        self.keyed = keyed
+        self.speedups = [float(s) for s in speedups]
+        if len(self.speedups) != num_servers:
+            raise ValueError(
+                f"{name}: got {len(self.speedups)} speedups for {num_servers} servers"
+            )
+        for speed in self.speedups:
+            require_positive(speed, f"{name} server speedup")
+        self.idle = [True] * num_servers
+        self.queues: list[list[int]] = [[] for _ in range(num_servers if keyed else 1)]
+        self.heads = [0] * len(self.queues)
+        self.busy_s = 0.0
+        self.queue_peak = 0
+        self.rows_served = [0] * num_servers
+
+    def queue_of(self, stream: int) -> int:
+        return stream if self.keyed else 0
+
+    def enqueue(self, queue: int, row: int) -> None:
+        self.queues[queue].append(row)
+        depth = sum(len(q) - h for q, h in zip(self.queues, self.heads))
+        self.queue_peak = max(self.queue_peak, depth)
+
+    def pop(self, queue: int) -> int | None:
+        if self.heads[queue] >= len(self.queues[queue]):
+            return None
+        row = self.queues[queue][self.heads[queue]]
+        self.heads[queue] += 1
+        return row
+
+    def idle_server(self, stream: int) -> int | None:
+        if self.keyed:
+            return stream if self.idle[stream] else None
+        for index, free in enumerate(self.idle):
+            if free:
+                return index
+        return None
+
+
+class PipelineExecutor:
+    """Event-driven executor of the three-stage attention pipeline.
+
+    Parameters
+    ----------
+    config:
+        Granularity (``"vector"`` / ``"operand"``) and the per-forward
+        ``stage_handoff_s``; defaults to :class:`~repro.core.config.PipelineConfig`.
+    streams:
+        Concurrent head-streams — parallel servers of the score and context
+        stages (each stream owns its ``K^T`` / ``V`` tiles).  Rows are
+        distributed round-robin across streams unless an explicit mapping is
+        passed to :meth:`execute_service_times`.
+    softmax_engines:
+        Size of the shared softmax-engine pool.
+    softmax_speedups:
+        Optional per-engine speed factors (service time is divided by the
+        factor); defaults to a homogeneous pool of 1.0.
+    jitter:
+        Optional :class:`StageJitter` applied to the per-row service times
+        drawn from a :class:`~repro.core.pipeline.StageTiming`.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        *,
+        streams: int = 1,
+        softmax_engines: int = 1,
+        softmax_speedups: Sequence[float] | None = None,
+        jitter: StageJitter | None = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        require_positive(streams, "streams")
+        require_positive(softmax_engines, "softmax_engines")
+        self.streams = streams
+        self.softmax_engines = softmax_engines
+        if softmax_speedups is None:
+            softmax_speedups = (1.0,) * softmax_engines
+        self.softmax_speedups = tuple(float(s) for s in softmax_speedups)
+        if len(self.softmax_speedups) != softmax_engines:
+            raise ValueError(
+                f"got {len(self.softmax_speedups)} softmax_speedups for "
+                f"{softmax_engines} engines"
+            )
+        self.jitter = jitter
+
+    # ------------------------------------------------------------------ #
+    # StageTiming entry points
+    # ------------------------------------------------------------------ #
+    def _service_times(self, timing: StageTiming) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n = timing.num_rows
+        factors = (
+            self.jitter.factors(n) if self.jitter is not None else np.ones((n, len(STAGES)))
+        )
+        return (
+            timing.score_row_s * factors[:, 0],
+            timing.softmax_row_s * factors[:, 1],
+            timing.context_row_s * factors[:, 2],
+        )
+
+    def execute(self, timing: StageTiming) -> ExecutedSchedule:
+        """Execute ``timing.num_rows`` rows under the configured granularity."""
+        if self.config.granularity == "vector":
+            return self.execute_vector(timing)
+        return self.execute_operand(timing)
+
+    def execute_vector(self, timing: StageTiming) -> ExecutedSchedule:
+        """STAR's schedule: every finished score row immediately moves on."""
+        score, softmax, context = self._service_times(timing)
+        return self.execute_service_times(score, softmax, context, granularity="vector")
+
+    def execute_operand(self, timing: StageTiming) -> ExecutedSchedule:
+        """Prior work's schedule: stage barriers between score/softmax/context."""
+        score, softmax, context = self._service_times(timing)
+        return self.execute_service_times(score, softmax, context, granularity="operand")
+
+    def speedup(self, timing: StageTiming) -> float:
+        """Executed vector-grained speedup over the executed operand schedule."""
+        coarse = self.execute_operand(timing).total_latency_s
+        fine = self.execute_vector(timing).total_latency_s
+        if fine == 0.0:
+            # a zero-cost vector schedule implies a zero-cost operand one
+            return 1.0
+        return coarse / fine
+
+    # ------------------------------------------------------------------ #
+    # service-time entry point (measured or synthetic)
+    # ------------------------------------------------------------------ #
+    def execute_service_times(
+        self,
+        score_s: np.ndarray,
+        softmax_s: np.ndarray,
+        context_s: np.ndarray,
+        *,
+        granularity: str | None = None,
+        stream_of: np.ndarray | None = None,
+    ) -> ExecutedSchedule:
+        """Execute rows whose per-row stage service times are given explicitly.
+
+        This is the entry point :class:`AttentionExecutor` uses with
+        *measured* service times; ``stream_of`` optionally pins each row to
+        a head-stream (default round-robin).
+        """
+        score_s = np.asarray(score_s, dtype=np.float64)
+        softmax_s = np.asarray(softmax_s, dtype=np.float64)
+        context_s = np.asarray(context_s, dtype=np.float64)
+        n = score_s.size
+        if n == 0:
+            raise ValueError("cannot execute an empty schedule")
+        if softmax_s.size != n or context_s.size != n:
+            raise ValueError(
+                f"stage service arrays disagree on row count: "
+                f"{score_s.size}, {softmax_s.size}, {context_s.size}"
+            )
+        if min(score_s.min(), softmax_s.min(), context_s.min()) < 0:
+            raise ValueError("service times must be non-negative")
+        if stream_of is None:
+            stream_of = np.arange(n) % self.streams
+        else:
+            stream_of = np.asarray(stream_of, dtype=np.int64)
+            if stream_of.size != n:
+                raise ValueError("stream_of must give one stream per row")
+            if stream_of.min() < 0 or stream_of.max() >= self.streams:
+                raise ValueError(
+                    f"stream indices must lie in [0, {self.streams}), "
+                    f"got [{stream_of.min()}, {stream_of.max()}]"
+                )
+        granularity = granularity or self.config.granularity
+        if granularity == "vector":
+            return self._run_vector(score_s, softmax_s, context_s, stream_of)
+        if granularity == "operand":
+            return self._run_operand(score_s, softmax_s, context_s, stream_of)
+        raise ValueError(f"granularity must be 'vector' or 'operand', got {granularity!r}")
+
+    # ------------------------------------------------------------------ #
+    # vector-grained: event-driven simulation
+    # ------------------------------------------------------------------ #
+    def _build_stages(self) -> list[_Stage]:
+        return [
+            _Stage("score", self.streams, keyed=True, speedups=(1.0,) * self.streams),
+            _Stage(
+                "softmax",
+                self.softmax_engines,
+                keyed=False,
+                speedups=self.softmax_speedups,
+            ),
+            _Stage("context", self.streams, keyed=True, speedups=(1.0,) * self.streams),
+        ]
+
+    def _run_vector(
+        self,
+        score_s: np.ndarray,
+        softmax_s: np.ndarray,
+        context_s: np.ndarray,
+        stream_of: np.ndarray,
+    ) -> ExecutedSchedule:
+        n = score_s.size
+        handoff = self.config.stage_handoff_s
+        services = (score_s, softmax_s, context_s)
+        stages = self._build_stages()
+        starts = np.zeros((n, len(STAGES)))
+        ends = np.zeros((n, len(STAGES)))
+        server_of = np.zeros((n, len(STAGES)), dtype=np.int64)
+
+        # (time, kind, tiebreak, stage, row-or-server); the counter keeps the
+        # heap stable, FREE at time t sorts before ARRIVE at time t
+        events: list[tuple[float, int, int, int, int]] = []
+        counter = 0
+        for row in range(n):
+            heapq.heappush(events, (0.0, _ARRIVE, counter, 0, row))
+            counter += 1
+
+        def start_service(time: float, stage_index: int, server: int, row: int) -> None:
+            nonlocal counter
+            stage = stages[stage_index]
+            stage.idle[server] = False
+            stage.rows_served[server] += 1
+            service = services[stage_index][row] / stage.speedups[server]
+            end = time + service
+            stage.busy_s += service + handoff
+            starts[row, stage_index] = time
+            ends[row, stage_index] = end
+            server_of[row, stage_index] = server
+            # the server forwards the row before accepting the next one
+            heapq.heappush(events, (end + handoff, _FREE, counter, stage_index, server))
+            counter += 1
+            if stage_index + 1 < len(STAGES):
+                heapq.heappush(
+                    events, (end + handoff, _ARRIVE, counter, stage_index + 1, row)
+                )
+                counter += 1
+
+        while events:
+            time, kind, _, stage_index, payload = heapq.heappop(events)
+            stage = stages[stage_index]
+            if kind == _ARRIVE:
+                row = payload
+                stream = int(stream_of[row])
+                server = stage.idle_server(stream)
+                queue = stage.queue_of(stream)
+                if server is None:
+                    stage.enqueue(queue, row)
+                else:
+                    start_service(time, stage_index, server, row)
+            else:  # _FREE
+                server = payload
+                stage.idle[server] = True
+                queue = server if stage.keyed else 0
+                row = stage.pop(queue)
+                if row is not None:
+                    start_service(time, stage_index, server, row)
+
+        # the final forward of the context stage is writeback overlap, so a
+        # row completes when its context service ends
+        completions = ends[:, 2]
+        total = float(completions.max())
+        return self._package("vector", total, starts, ends, server_of, stream_of, stages, completions)
+
+    # ------------------------------------------------------------------ #
+    # operand-grained: stage barriers
+    # ------------------------------------------------------------------ #
+    def _run_operand(
+        self,
+        score_s: np.ndarray,
+        softmax_s: np.ndarray,
+        context_s: np.ndarray,
+        stream_of: np.ndarray,
+    ) -> ExecutedSchedule:
+        n = score_s.size
+        handoff = self.config.stage_handoff_s
+        services = (score_s, softmax_s, context_s)
+        stages = self._build_stages()
+        starts = np.zeros((n, len(STAGES)))
+        ends = np.zeros((n, len(STAGES)))
+        server_of = np.zeros((n, len(STAGES)), dtype=np.int64)
+
+        phase_start = 0.0
+        for stage_index, stage in enumerate(stages):
+            free_at = [phase_start] * len(stage.idle)
+            for row in range(n):
+                if stage.keyed:
+                    server = int(stream_of[row])
+                else:
+                    server = int(np.argmin(free_at))
+                service = services[stage_index][row] / stage.speedups[server]
+                starts[row, stage_index] = free_at[server]
+                ends[row, stage_index] = free_at[server] + service
+                server_of[row, stage_index] = server
+                free_at[server] = ends[row, stage_index]
+                stage.busy_s += service
+                stage.rows_served[server] += 1
+            # the whole operand queues ahead of every phase: all rows are
+            # resident before any of them starts
+            stage.queue_peak = n
+            # one handoff per stage boundary — the operand is forwarded once
+            phase_start = max(free_at) + handoff
+
+        completions = ends[:, 2]
+        total = float(completions.max())
+        return self._package("operand", total, starts, ends, server_of, stream_of, stages, completions)
+
+    # ------------------------------------------------------------------ #
+    # packaging
+    # ------------------------------------------------------------------ #
+    def _package(
+        self,
+        granularity: str,
+        total: float,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        server_of: np.ndarray,
+        stream_of: np.ndarray,
+        stages: list[_Stage],
+        completions: np.ndarray,
+    ) -> ExecutedSchedule:
+        records = tuple(
+            RowRecord(
+                row=row,
+                stream=int(stream_of[row]),
+                engine=int(server_of[row, 1]),
+                score_start_s=float(starts[row, 0]),
+                score_end_s=float(ends[row, 0]),
+                softmax_start_s=float(starts[row, 1]),
+                softmax_end_s=float(ends[row, 1]),
+                context_start_s=float(starts[row, 2]),
+                context_end_s=float(ends[row, 2]),
+            )
+            for row in range(starts.shape[0])
+        )
+        return ExecutedSchedule(
+            granularity=granularity,
+            total_latency_s=total,
+            steady_state_interval_s=_steady_interval(completions, total),
+            num_streams=self.streams,
+            num_softmax_engines=self.softmax_engines,
+            records=records,
+            stage_busy_s={stage.name: stage.busy_s for stage in stages},
+            queue_peaks={stage.name: stage.queue_peak for stage in stages},
+            engine_rows=tuple(stages[1].rows_served),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# functional execution: real tensors through the schedule
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AttentionExecution:
+    """Output tensors and the executed schedule of one attention forward."""
+
+    context: np.ndarray
+    scores: np.ndarray
+    weights: np.ndarray
+    schedule: ExecutedSchedule
+
+
+def _stats_delta(before, after):
+    """Field-wise difference of two access-stats dataclasses."""
+    return replace(
+        before,
+        **{
+            f.name: getattr(after, f.name) - getattr(before, f.name)
+            for f in fields(after)
+        },
+    )
+
+
+class AttentionExecutor:
+    """Streams real attention tensors through the executed schedule.
+
+    The functional counterpart of :class:`PipelineExecutor`: given
+    ``(batch, heads, seq, head_dim)`` query/key/value tensors it
+
+    1. programs each head's ``K^T`` and ``V`` operands into persistent
+       :class:`~repro.core.matmul_engine.MatMulEngine` tile banks,
+    2. streams every query row through the score tiles, hands the finished
+       score row to a softmax engine of the pool and contracts the
+       attention row against the ``V`` tiles — producing the actual
+       attention output, and
+    3. *measures* each row's three stage service times from the engines'
+       access-statistics ledgers (the deltas each row adds to
+       ``MatMulEngine.access_stats`` / ``RRAMSoftmaxEngine.access_stats``)
+       and replays them through the event-driven executor to obtain the
+       :class:`ExecutedSchedule`.
+
+    The tiles of one operand bank fire in parallel on the same input row,
+    so the measured GEMM-row latency is the serialized ledger latency
+    divided by the bank's tile count — the same tile-parallelism assumption
+    :meth:`~repro.core.matmul_engine.MatMulEngine.row_latency_s` makes.
+    Functional softmax work is spread round-robin over the pool (the
+    engines are assumed homogeneous — per-engine *speed* asymmetry is a
+    timed-executor scenario, see ``softmax_speedups``), while the schedule
+    dispatches rows to whichever engine frees first.
+    """
+
+    def __init__(
+        self,
+        matmul_engine: "MatMulEngine | None" = None,
+        softmax_engines: "int | Sequence[RRAMSoftmaxEngine]" = 4,
+        config: PipelineConfig | None = None,
+        *,
+        tiles_per_stream: int = 2,
+        jitter: StageJitter | None = None,
+    ) -> None:
+        if matmul_engine is None:
+            from repro.core.matmul_engine import MatMulEngine
+
+            matmul_engine = MatMulEngine()
+        self.matmul_engine = matmul_engine
+        if isinstance(softmax_engines, int):
+            from repro.core.softmax_engine import RRAMSoftmaxEngine
+
+            require_positive(softmax_engines, "softmax_engines")
+            softmax_engines = [RRAMSoftmaxEngine() for _ in range(softmax_engines)]
+        self.softmax_pool = list(softmax_engines)
+        if not self.softmax_pool:
+            raise ValueError("the softmax engine pool must not be empty")
+        self.config = config or PipelineConfig()
+        require_positive(tiles_per_stream, "tiles_per_stream")
+        self.tiles_per_stream = tiles_per_stream
+        self.jitter = jitter
+        self.last_schedule: ExecutedSchedule | None = None
+
+    def executor_for(self, num_heads: int, batch_size: int) -> PipelineExecutor:
+        """The timed executor matching this workload's stream/tile allocation."""
+        streams = attention_streams(
+            num_heads,
+            batch_size,
+            self.matmul_engine.config.num_tiles,
+            self.tiles_per_stream,
+        )
+        return PipelineExecutor(
+            self.config,
+            streams=streams,
+            softmax_engines=len(self.softmax_pool),
+            jitter=self.jitter,
+        )
+
+    def run(
+        self,
+        query: np.ndarray,
+        key: np.ndarray,
+        value: np.ndarray,
+        *,
+        scale: float | None = None,
+        mask: np.ndarray | None = None,
+    ) -> AttentionExecution:
+        """Execute attention for ``(batch, heads, seq, head_dim)`` tensors."""
+        query = np.asarray(query, dtype=np.float64)
+        key = np.asarray(key, dtype=np.float64)
+        value = np.asarray(value, dtype=np.float64)
+        if query.ndim != 4 or key.shape != query.shape or value.shape != query.shape:
+            raise ValueError(
+                "query/key/value must share one (batch, heads, seq, head_dim) "
+                f"shape, got {query.shape}, {key.shape}, {value.shape}"
+            )
+        batch, heads, seq_len, head_dim = query.shape
+        if scale is None:
+            scale = 1.0 / np.sqrt(head_dim)
+        mask_arr = None
+        if mask is not None:
+            mask_arr = np.broadcast_to(
+                np.asarray(mask, dtype=np.float64), (batch, heads, seq_len, seq_len)
+            )
+
+        executor = self.executor_for(heads, batch)
+        engine = self.matmul_engine
+        pool = self.softmax_pool
+        n = batch * heads * seq_len
+
+        scores = np.empty((batch, heads, seq_len, seq_len))
+        weights = np.empty_like(scores)
+        context = np.empty_like(query)
+        score_s = np.empty(n)
+        softmax_s = np.empty(n)
+        context_s = np.empty(n)
+        stream_of = np.empty(n, dtype=np.int64)
+
+        row = 0
+        for b in range(batch):
+            for h in range(heads):
+                stream = (b * heads + h) % executor.streams
+                # the head-stream's stationary operands: programmed once,
+                # before streaming, so per-row ledger deltas are read-only
+                k_operand = engine.program_operand(key[b, h].T)
+                v_operand = engine.program_operand(value[b, h])
+                for i in range(seq_len):
+                    before = replace(engine.access_stats)
+                    score_row = engine.matmul(query[b, h, i : i + 1], k_operand)[0] * scale
+                    after = replace(engine.access_stats)
+                    score_s[row] = engine.latency_s_of(
+                        _stats_delta(before, after)
+                    ) / k_operand.num_tiles
+                    if mask_arr is not None:
+                        score_row = score_row + mask_arr[b, h, i]
+                    scores[b, h, i] = score_row
+
+                    soft = pool[row % len(pool)]
+                    soft_before = soft.access_stats
+                    weights[b, h, i] = soft.softmax(score_row)
+                    softmax_s[row] = soft.latency_s_of(
+                        _stats_delta(soft_before, soft.access_stats)
+                    )
+
+                    before = replace(engine.access_stats)
+                    context[b, h, i] = engine.matmul(weights[b, h, i : i + 1], v_operand)[0]
+                    after = replace(engine.access_stats)
+                    context_s[row] = engine.latency_s_of(
+                        _stats_delta(before, after)
+                    ) / v_operand.num_tiles
+                    stream_of[row] = stream
+                    row += 1
+
+        if self.jitter is not None:
+            # ledger-derived service times are deterministic; the configured
+            # jitter perturbs them the same way the timed executor would
+            factors = self.jitter.factors(n)
+            score_s *= factors[:, 0]
+            softmax_s *= factors[:, 1]
+            context_s *= factors[:, 2]
+        schedule = executor.execute_service_times(
+            score_s, softmax_s, context_s, stream_of=stream_of
+        )
+        self.last_schedule = schedule
+        return AttentionExecution(
+            context=context, scores=scores, weights=weights, schedule=schedule
+        )

@@ -23,13 +23,16 @@ bit-width analysis of Section II consumes.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.nn.backend import IDEAL_BACKEND, ComputeBackend
 from repro.nn.functional import softmax as exact_softmax
 from repro.nn.layers import Linear
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.core.scheduler import AttentionExecutor, ExecutedSchedule
 
 __all__ = ["MultiHeadAttention"]
 
@@ -46,6 +49,7 @@ class MultiHeadAttention:
         rng: np.random.Generator | None = None,
         softmax_fn: SoftmaxFn | None = None,
         backend: ComputeBackend | None = None,
+        executor: "AttentionExecutor | None" = None,
     ) -> None:
         if hidden < 1 or num_heads < 1:
             raise ValueError(
@@ -61,6 +65,8 @@ class MultiHeadAttention:
         self.head_dim = hidden // num_heads
         self.softmax_fn: SoftmaxFn = softmax_fn if softmax_fn is not None else exact_softmax
         self.backend: ComputeBackend = backend if backend is not None else IDEAL_BACKEND
+        self.executor = executor
+        self.last_schedule: "ExecutedSchedule | None" = None
         self.query_proj = Linear(hidden, hidden, rng=generator, backend=backend)
         self.key_proj = Linear(hidden, hidden, rng=generator, backend=backend)
         self.value_proj = Linear(hidden, hidden, rng=generator, backend=backend)
@@ -90,6 +96,15 @@ class MultiHeadAttention:
         softmax implementations process all ``batch * heads * seq`` rows in
         one vectorized batch.  Both dynamic GEMMs (``QK^T`` and
         ``weights @ V``) run on the configured compute backend.
+
+        With an ``executor`` attached, the whole
+        ``score GEMM -> softmax -> context GEMM`` chain instead streams
+        row by row through the event-driven schedule of
+        :class:`~repro.core.scheduler.AttentionExecutor` (its MatMul engine
+        and softmax-engine pool replace the backend/softmax callable for
+        these three stages), and the measured
+        :class:`~repro.core.scheduler.ExecutedSchedule` of the forward is
+        kept on ``last_schedule``.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 3 or x.shape[-1] != self.hidden:
@@ -99,6 +114,15 @@ class MultiHeadAttention:
         query = self._split_heads(self.query_proj(x))
         key = self._split_heads(self.key_proj(x))
         value = self._split_heads(self.value_proj(x))
+
+        if self.executor is not None:
+            executed = self.executor.run(
+                query, key, value, scale=1.0 / np.sqrt(self.head_dim), mask=mask
+            )
+            self.last_scores = executed.scores
+            self.last_weights = executed.weights
+            self.last_schedule = executed.schedule
+            return self.output_proj(self._merge_heads(executed.context))
 
         scores = self.backend.matmul(query, np.swapaxes(key, -1, -2)) / np.sqrt(self.head_dim)
         if mask is not None:

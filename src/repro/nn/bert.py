@@ -18,13 +18,16 @@ from it here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.nn.backend import ComputeBackend
 from repro.nn.encoder import TransformerEncoder
 from repro.nn.layers import Embedding
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.core.scheduler import AttentionExecutor, ExecutedSchedule
 
 __all__ = ["BertConfig", "BERT_BASE", "BertEncoderModel", "BertWorkload"]
 
@@ -76,6 +79,7 @@ class BertEncoderModel:
         seed: int = 0,
         softmax_fn: Callable[[np.ndarray], np.ndarray] | None = None,
         backend: ComputeBackend | None = None,
+        executor: "AttentionExecutor | None" = None,
     ) -> None:
         self.config = config
         rng = np.random.default_rng(seed)
@@ -90,6 +94,7 @@ class BertEncoderModel:
             rng=rng,
             softmax_fn=softmax_fn,
             backend=backend,
+            executor=executor,
         )
 
     def __call__(self, token_ids: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
@@ -104,6 +109,15 @@ class BertEncoderModel:
     def attention_scores(self) -> list[np.ndarray]:
         """Attention scores captured during the most recent forward pass."""
         return self.encoder.collect_attention_scores()
+
+    def attention_schedules(self) -> "list[ExecutedSchedule]":
+        """Per-layer executed schedules of the most recent forward pass.
+
+        Empty unless the model was built with an ``executor`` — with one,
+        each layer's attention chain streams through the event-driven
+        schedule and reports its measured timing here.
+        """
+        return self.encoder.collect_attention_schedules()
 
 
 @dataclass(frozen=True)

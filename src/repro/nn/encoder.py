@@ -9,13 +9,16 @@ exact NumPy and simulated analog crossbar hardware.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.nn.attention import MultiHeadAttention
 from repro.nn.backend import ComputeBackend
 from repro.nn.layers import FeedForward, LayerNorm
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.core.scheduler import AttentionExecutor, ExecutedSchedule
 
 __all__ = ["TransformerEncoderLayer", "TransformerEncoder"]
 
@@ -31,10 +34,16 @@ class TransformerEncoderLayer:
         rng: np.random.Generator | None = None,
         softmax_fn: Callable[[np.ndarray], np.ndarray] | None = None,
         backend: ComputeBackend | None = None,
+        executor: "AttentionExecutor | None" = None,
     ) -> None:
         generator = rng if rng is not None else np.random.default_rng(0)
         self.attention = MultiHeadAttention(
-            hidden, num_heads, rng=generator, softmax_fn=softmax_fn, backend=backend
+            hidden,
+            num_heads,
+            rng=generator,
+            softmax_fn=softmax_fn,
+            backend=backend,
+            executor=executor,
         )
         self.attention_norm = LayerNorm(hidden)
         self.feed_forward = FeedForward(hidden, intermediate, rng=generator, backend=backend)
@@ -69,6 +78,7 @@ class TransformerEncoder:
         rng: np.random.Generator | None = None,
         softmax_fn: Callable[[np.ndarray], np.ndarray] | None = None,
         backend: ComputeBackend | None = None,
+        executor: "AttentionExecutor | None" = None,
     ) -> None:
         if num_layers < 1:
             raise ValueError(f"num_layers must be >= 1, got {num_layers}")
@@ -81,6 +91,7 @@ class TransformerEncoder:
                 rng=generator,
                 softmax_fn=softmax_fn,
                 backend=backend,
+                executor=executor,
             )
             for _ in range(num_layers)
         ]
@@ -106,3 +117,11 @@ class TransformerEncoder:
             if layer.attention.last_scores is not None:
                 scores.append(layer.attention.last_scores)
         return scores
+
+    def collect_attention_schedules(self) -> "list[ExecutedSchedule]":
+        """Executed attention schedules captured by each layer (executor runs)."""
+        schedules = []
+        for layer in self.layers:
+            if layer.attention.last_schedule is not None:
+                schedules.append(layer.attention.last_schedule)
+        return schedules

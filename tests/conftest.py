@@ -5,6 +5,24 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "regenerate the committed golden experiment reports under "
+            "tests/golden/goldens/ instead of comparing against them"
+        ),
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """Whether this run should rewrite the golden files."""
+    return request.config.getoption("--update-goldens")
+
 from repro.core import RRAMSoftmaxEngine, SoftmaxEngineConfig
 from repro.utils.fixed_point import CNEWS_FORMAT, COLA_FORMAT, MRPC_FORMAT
 from repro.workloads import CNEWS_PROFILE, COLA_PROFILE, MRPC_PROFILE, AttentionScoreGenerator

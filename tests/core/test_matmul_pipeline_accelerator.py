@@ -264,9 +264,29 @@ class TestPipeline:
 
     def test_invalid_timing_and_config(self):
         with pytest.raises(ValueError):
-            StageTiming(score_row_s=0, softmax_row_s=1, context_row_s=1, num_rows=1)
+            StageTiming(score_row_s=-1e-9, softmax_row_s=1, context_row_s=1, num_rows=1)
+        with pytest.raises(ValueError):
+            StageTiming(score_row_s=1, softmax_row_s=1, context_row_s=1, num_rows=0)
         with pytest.raises(ValueError):
             PipelineConfig(granularity="weird")
+
+    def test_zero_latency_stage_is_a_valid_ablation_point(self):
+        # regression: zero-cost stages (e.g. "softmax for free") used to be
+        # rejected, blocking the ablation that isolates each stage's cost
+        free_softmax = StageTiming(
+            score_row_s=100e-9, softmax_row_s=0.0, context_row_s=100e-9, num_rows=64
+        )
+        pipeline = AttentionPipeline(PipelineConfig(stage_handoff_s=0.0))
+        schedule = pipeline.vector_grained_latency(free_softmax)
+        assert schedule.total_latency_s == pytest.approx(
+            free_softmax.sum_row_s + 63 * free_softmax.bottleneck_row_s
+        )
+        assert free_softmax.bottleneck_row_s == 100e-9
+        all_free = StageTiming(0.0, 0.0, 0.0, num_rows=4)
+        assert pipeline.vector_grained_latency(all_free).total_latency_s == 0.0
+        assert pipeline.operand_grained_latency(all_free).total_latency_s == 0.0
+        # an entirely free pipeline is neither sped up nor slowed down
+        assert pipeline.speedup(all_free) == 1.0
 
 
 class TestSTARAccelerator:
@@ -318,3 +338,38 @@ class TestSTARAccelerator:
     def test_requires_positive_engine_count(self):
         with pytest.raises(ValueError):
             STARAccelerator(num_softmax_engines=0)
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            STARAccelerator(schedule="magic")
+
+    def test_executed_schedule_close_to_analytical(self):
+        workload = BertWorkload(seq_len=128)
+        analytical = STARAccelerator()
+        executed = STARAccelerator(schedule="executed")
+        a = analytical.inference_latency_s(workload)
+        e = executed.inference_latency_s(workload)
+        assert e == pytest.approx(a, rel=0.05)
+        assert e != a  # discrete servers, not rate scaling
+
+    def test_executed_schedule_exposes_resources(self):
+        star = STARAccelerator(schedule="executed", num_softmax_engines=16)
+        schedule = star.executed_attention_schedule(BertWorkload(seq_len=64))
+        assert schedule.num_rows == 12 * 64
+        assert schedule.num_softmax_engines == 16
+        assert schedule.num_streams == 12
+        assert sum(schedule.engine_rows) == schedule.num_rows
+
+    def test_native_timing_is_undivided(self):
+        star = STARAccelerator()
+        workload = BertWorkload(seq_len=128)
+        native = star.native_attention_stage_timing(workload)
+        aggregate = star.attention_stage_timing(workload)
+        assert native.score_row_s == pytest.approx(12 * aggregate.score_row_s)
+        assert native.softmax_row_s == pytest.approx(64 * aggregate.softmax_row_s)
+        assert native.num_rows == aggregate.num_rows
+
+    def test_executed_schedule_rejects_granularity_typo(self):
+        star = STARAccelerator()
+        with pytest.raises(ValueError):
+            star.executed_attention_schedule(BertWorkload(seq_len=32), granularity="vectr")

@@ -1,0 +1,66 @@
+"""Golden regression tests for the experiment-runner reports.
+
+Each experiment report that summarises a paper table (E4 bit-widths, E7
+pipeline ablation, E8 precision sweep, E9 noise corners) is compared
+line-for-line against a committed golden file.  The reports are fully
+deterministic (seeded generators, ideal devices or seeded noise), so any
+diff is a behaviour change — either a regression to investigate or an
+intentional improvement to re-bless:
+
+    PYTHONPATH=src python -m pytest tests/golden --update-goldens
+
+rewrites the golden files from the current code; commit the diff together
+with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_EXPERIMENTS = ("e4", "e7", "e8", "e9")
+
+
+def golden_path(experiment_id: str) -> Path:
+    return GOLDEN_DIR / f"{experiment_id}.json"
+
+
+@pytest.mark.parametrize("experiment_id", GOLDEN_EXPERIMENTS)
+def test_report_matches_golden(experiment_id, update_goldens):
+    report = run_experiment(experiment_id)
+    path = golden_path(experiment_id)
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps({"experiment": experiment_id, "report": report.splitlines()},
+                       indent=2)
+            + "\n"
+        )
+        return
+    assert path.exists(), (
+        f"missing golden file {path}; generate it with "
+        "`python -m pytest tests/golden --update-goldens`"
+    )
+    golden = json.loads(path.read_text())
+    expected = golden["report"]
+    actual = report.splitlines()
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(expected, actual, "golden", "current", lineterm="")
+        )
+        pytest.fail(
+            f"{experiment_id} report diverged from its golden file "
+            f"(re-bless with --update-goldens if intentional):\n{diff}"
+        )
+
+
+def test_goldens_directory_has_no_strays():
+    """Every committed golden corresponds to a checked experiment."""
+    names = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert names == set(GOLDEN_EXPERIMENTS)

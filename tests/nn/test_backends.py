@@ -205,3 +205,74 @@ class TestAnalogAttentionAndBert:
         ideal_out = BertEncoderModel(config, seed=0, backend=IdealBackend())(ids)
         default_out = BertEncoderModel(config, seed=0)(ids)
         np.testing.assert_array_equal(ideal_out, default_out)
+
+
+class TestExecutorThreading:
+    """The executor hook: executed attention schedules inside the NN stack."""
+
+    def executor(self, num_engines=2):
+        from repro.core.scheduler import AttentionExecutor
+
+        return AttentionExecutor(
+            MatMulEngine(
+                MatMulEngineConfig(
+                    crossbar_rows=16,
+                    crossbar_cols=16,
+                    adc_bits=10,
+                    bits_per_cell=5,
+                    num_tiles=8,
+                )
+            ),
+            softmax_engines=[
+                RRAMSoftmaxEngine(SoftmaxEngineConfig(fmt=CNEWS_FORMAT))
+                for _ in range(num_engines)
+            ],
+        )
+
+    def test_attention_with_executor_matches_reference_closely(self, rng):
+        reference = MultiHeadAttention(32, 4, rng=np.random.default_rng(3))
+        executed = MultiHeadAttention(
+            32, 4, rng=np.random.default_rng(3), executor=self.executor()
+        )
+        x = rng.normal(size=(1, 8, 32))
+        out_ref = reference(x)
+        out_exec = executed(x)
+        assert out_exec.shape == out_ref.shape
+        correlation = np.corrcoef(out_ref.ravel(), out_exec.ravel())[0, 1]
+        assert correlation > 0.95
+        schedule = executed.last_schedule
+        assert schedule is not None
+        assert schedule.num_rows == 4 * 8
+        assert schedule.total_latency_s > 0
+        assert reference.last_schedule is None
+
+    def test_attention_executor_respects_mask(self, rng):
+        attention = MultiHeadAttention(
+            32, 4, rng=np.random.default_rng(3), executor=self.executor()
+        )
+        x = rng.normal(size=(1, 6, 32))
+        mask = np.zeros((1, 1, 6, 6))
+        mask[..., 4:] = -1e9
+        attention(x, mask=mask)
+        assert np.all(attention.last_weights[..., 4:] < 1e-6)
+
+    def test_bert_reports_per_layer_executed_schedules(self, rng):
+        config = BertConfig(
+            num_layers=2,
+            hidden=32,
+            num_heads=4,
+            intermediate=64,
+            vocab_size=64,
+            max_positions=8,
+        )
+        model = BertEncoderModel(config, seed=1, executor=self.executor())
+        ids = rng.integers(0, 64, size=(1, 8))
+        out = model(ids)
+        assert np.all(np.isfinite(out))
+        schedules = model.attention_schedules()
+        assert len(schedules) == 2
+        for schedule in schedules:
+            assert schedule.num_rows == 4 * 8
+            assert schedule.granularity == "vector"
+        # a model without an executor reports none
+        assert BertEncoderModel(config, seed=1).attention_schedules() == []
