@@ -15,6 +15,7 @@ from repro.analysis.breakdown import (
     StarScheduleRow,
 )
 from repro.analysis.efficiency import EfficiencyComparison, Figure3Results
+from repro.analysis.serving import MD1ValidationRow, ServingAnalyzer, ServingSweepRow
 
 __all__ = [
     "BitwidthAnalyzer",
@@ -32,4 +33,7 @@ __all__ = [
     "PipelineAblationRow",
     "PrecisionAblationRow",
     "NoiseAblationRow",
+    "ServingAnalyzer",
+    "ServingSweepRow",
+    "MD1ValidationRow",
 ]

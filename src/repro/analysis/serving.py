@@ -1,0 +1,167 @@
+"""Serving-level analysis: load sweeps and queueing-theory validation.
+
+:class:`ServingAnalyzer` drives the request-level simulator
+(:mod:`repro.serving`) over a sweep of offered loads on a STAR chip fleet
+and tabulates what a capacity planner needs — sustained throughput, tail
+latencies, queue depths, fleet utilization and energy per query — plus an
+M/D/1 Pollaczek–Khinchine cross-validation row for the single-chip,
+no-batching limit (the regime where the simulator has a closed form to
+answer to).  This is the E10 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.arrivals import PoissonArrivals
+from repro.serving.batcher import NO_BATCHING, DynamicBatcher
+from repro.serving.fleet import ChipFleet, ServiceModel, StarServiceModel
+from repro.serving.report import ServingReport
+from repro.serving.simulator import ServingSimulator
+from repro.serving.theory import MD1Queue
+from repro.utils.stats import relative_error
+from repro.utils.validation import require_positive
+
+__all__ = ["ServingSweepRow", "MD1ValidationRow", "ServingAnalyzer"]
+
+
+@dataclass(frozen=True)
+class ServingSweepRow:
+    """One offered-load point of the serving sweep."""
+
+    offered_rate_rps: float
+    load_factor: float
+    report: ServingReport
+
+    @property
+    def throughput_rps(self) -> float:
+        """Sustained completion rate at this load."""
+        return self.report.throughput_rps
+
+
+@dataclass(frozen=True)
+class MD1ValidationRow:
+    """Simulated vs Pollaczek–Khinchine mean wait in the M/D/1 limit."""
+
+    arrival_rate_rps: float
+    utilization: float
+    simulated_wait_s: float
+    theory_wait_s: float
+
+    @property
+    def deviation(self) -> float:
+        """Relative error of the simulated mean wait."""
+        return relative_error(self.simulated_wait_s, self.theory_wait_s)
+
+
+class ServingAnalyzer:
+    """Load sweep + M/D/1 validation of a STAR serving fleet.
+
+    Parameters
+    ----------
+    service_model:
+        Batch pricing; defaults to the analytical-schedule STAR accelerator
+        serving BERT-base.
+    num_chips:
+        Fleet size for the load sweep.
+    batcher:
+        Dispatch policy for the load sweep (the M/D/1 validation always
+        runs single-chip, no-batching).
+    seq_len:
+        Served sequence length.
+    num_requests:
+        Requests per simulated load point.
+    seed:
+        Seed of the Poisson arrival streams.
+    """
+
+    def __init__(
+        self,
+        service_model: ServiceModel | None = None,
+        num_chips: int = 4,
+        batcher: DynamicBatcher = NO_BATCHING,
+        seq_len: int = 128,
+        num_requests: int = 2000,
+        seed: int = 0,
+    ) -> None:
+        require_positive(num_chips, "num_chips")
+        require_positive(num_requests, "num_requests")
+        self.service_model = service_model or StarServiceModel()
+        self.num_chips = num_chips
+        self.batcher = batcher
+        self.seq_len = seq_len
+        self.num_requests = num_requests
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # capacity and sweeps
+    # ------------------------------------------------------------------ #
+    def request_service_s(self) -> float:
+        """Single-request service time of one chip at the analyzer's length."""
+        return self.service_model.batch_latency_s(1, self.seq_len)
+
+    def fleet_capacity_rps(self) -> float:
+        """Upper-bound completion rate of the fleet at batch size 1."""
+        return self.num_chips / self.request_service_s()
+
+    def row_for(self, load_factor: float) -> ServingSweepRow:
+        """Simulate one offered load, expressed as a fraction of capacity."""
+        require_positive(load_factor, "load_factor")
+        rate = load_factor * self.fleet_capacity_rps()
+        arrivals = PoissonArrivals(rate, seq_len=self.seq_len, seed=self.seed)
+        fleet = ChipFleet(self.service_model, num_chips=self.num_chips)
+        report = ServingSimulator(fleet, self.batcher).run(
+            arrivals.generate(self.num_requests)
+        )
+        return ServingSweepRow(offered_rate_rps=rate, load_factor=load_factor, report=report)
+
+    def sweep_rows(self, load_factors: tuple[float, ...] = (0.3, 0.6, 0.9)) -> list[ServingSweepRow]:
+        """The load sweep at several fractions of fleet capacity."""
+        return [self.row_for(factor) for factor in load_factors]
+
+    # ------------------------------------------------------------------ #
+    # M/D/1 cross-validation
+    # ------------------------------------------------------------------ #
+    def md1_validation(
+        self, utilization: float = 0.7, num_requests: int = 30000
+    ) -> MD1ValidationRow:
+        """Single-chip no-batching run vs the Pollaczek–Khinchine formula."""
+        service = self.request_service_s()
+        rate = utilization / service
+        arrivals = PoissonArrivals(rate, seq_len=self.seq_len, seed=self.seed)
+        fleet = ChipFleet(self.service_model, num_chips=1)
+        report = ServingSimulator(fleet, NO_BATCHING).run(arrivals.generate(num_requests))
+        theory = MD1Queue(arrival_rate_rps=rate, service_s=service)
+        return MD1ValidationRow(
+            arrival_rate_rps=rate,
+            utilization=utilization,
+            simulated_wait_s=report.mean_wait_s,
+            theory_wait_s=theory.mean_wait_s,
+        )
+
+    # ------------------------------------------------------------------ #
+    # presentation
+    # ------------------------------------------------------------------ #
+    def format_table(self, load_factors: tuple[float, ...] = (0.3, 0.6, 0.9)) -> str:
+        """Printable sweep table plus the M/D/1 validation line."""
+        lines = [
+            f"{'load':>6} {'rate (r/s)':>11} {'served':>8} {'p50 (ms)':>9} "
+            f"{'p95 (ms)':>9} {'p99 (ms)':>9} {'batch':>6} {'util':>6} {'mJ/query':>9}"
+        ]
+        for row in self.sweep_rows(load_factors):
+            report = row.report
+            lines.append(
+                f"{row.load_factor:>6.2f} {row.offered_rate_rps:>11.1f} "
+                f"{report.throughput_rps:>8.1f} {report.p50_latency_s * 1e3:>9.2f} "
+                f"{report.p95_latency_s * 1e3:>9.2f} {report.p99_latency_s * 1e3:>9.2f} "
+                f"{report.mean_batch_size:>6.2f} {report.mean_utilization * 100:>5.1f}% "
+                f"{report.energy_per_query_j * 1e3:>9.2f}"
+            )
+        check = self.md1_validation()
+        lines.append(
+            f"M/D/1 check (1 chip, no batching, rho={check.utilization:.2f}): "
+            f"simulated wait {check.simulated_wait_s * 1e3:.3f} ms vs "
+            f"P-K {check.theory_wait_s * 1e3:.3f} ms "
+            f"({check.deviation * 100:.2f}% off)"
+        )
+        return "\n".join(lines)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.utils.validation import require_non_negative, require_positive
+from repro.utils.validation import require_non_negative
 
 __all__ = ["SystemOverheadModel", "DEFAULT_SYSTEM_OVERHEAD"]
 
@@ -65,13 +65,18 @@ class SystemOverheadModel:
         )
 
     def total_power_w(self, num_tiles: int) -> float:
-        """Chip-level overhead power for ``num_tiles`` tiles."""
-        require_positive(num_tiles, "num_tiles")
+        """Chip-level overhead power for ``num_tiles`` tiles.
+
+        ``num_tiles = 0`` is a legitimate configuration — a softmax-engine-only
+        or idle chip still pays the once-per-chip IO power but no per-tile
+        overhead.
+        """
+        require_non_negative(num_tiles, "num_tiles")
         return self.power_w_per_tile * num_tiles + self.io_power_w
 
     def total_area_mm2(self, num_tiles: int) -> float:
-        """Chip-level overhead area for ``num_tiles`` tiles."""
-        require_positive(num_tiles, "num_tiles")
+        """Chip-level overhead area for ``num_tiles`` tiles (zero when tile-less)."""
+        require_non_negative(num_tiles, "num_tiles")
         return self.overhead_area_mm2_per_tile * num_tiles
 
 

@@ -1,6 +1,12 @@
 """STAR's core contribution: the RRAM softmax engine, MatMul engine and pipeline."""
 
-from repro.core.accelerator import LayerLatencyBreakdown, STARAccelerator
+from repro.core.accelerator import (
+    ChipResources,
+    LayerLatencyBreakdown,
+    ModelSchedule,
+    RequestTiming,
+    STARAccelerator,
+)
 from repro.core.access_stats import AccessStats
 from repro.core.cam_sub import CamSubBatchResult, CamSubCrossbar, CamSubResult
 from repro.core.config import (
@@ -11,6 +17,7 @@ from repro.core.config import (
 )
 from repro.core.counter import CounterBank
 from repro.core.divider import DividerUnit
+from repro.core.events import EventLoop, ServerPool
 from repro.core.exponent import ExponentBatchResult, ExponentialUnit, ExponentResult
 from repro.core.matmul_engine import GEMMShape, MatMulEngine, ProgrammedOperand
 from repro.core.pipeline import AttentionPipeline, PipelineSchedule, StageTiming
@@ -46,6 +53,8 @@ __all__ = [
     "AttentionPipeline",
     "StageTiming",
     "PipelineSchedule",
+    "EventLoop",
+    "ServerPool",
     "PipelineExecutor",
     "ExecutedSchedule",
     "RowRecord",
@@ -53,5 +62,8 @@ __all__ = [
     "AttentionExecutor",
     "AttentionExecution",
     "STARAccelerator",
+    "ChipResources",
+    "ModelSchedule",
+    "RequestTiming",
     "LayerLatencyBreakdown",
 ]

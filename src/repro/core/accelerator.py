@@ -10,12 +10,22 @@ the quantities the evaluation section reports:
   overheads (buffers, network, control) from
   :class:`repro.arch.system.SystemOverheadModel`;
 * the Fig. 3 computing-efficiency report (GOPs/s/W).
+
+Chip resources are factored into a first-class :class:`ChipResources`
+object — the MatMul tile banks, the softmax-engine pool and the system
+overheads a schedule *occupies*.  :class:`STARAccelerator` is the timing
+model running on one such chip; the serving simulator
+(:mod:`repro.serving`) replicates the same resources across a fleet and
+charges request batches against them.  Beyond the single attention stage,
+:meth:`STARAccelerator.executed_model_schedule` runs **every encoder
+layer's** attention chain through the event-driven executor, and
+:meth:`STARAccelerator.request_timing` condenses a whole batched inference
+into the service time / energy quantities request-level serving needs.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.arch.report import CostReport
 from repro.arch.system import DEFAULT_SYSTEM_OVERHEAD, SystemOverheadModel
@@ -27,10 +37,76 @@ from repro.core.softmax_engine import RRAMSoftmaxEngine
 from repro.nn.bert import BertWorkload
 from repro.utils.validation import require_positive
 
-__all__ = ["LayerLatencyBreakdown", "STARAccelerator"]
+__all__ = [
+    "ChipResources",
+    "LayerLatencyBreakdown",
+    "ModelSchedule",
+    "RequestTiming",
+    "STARAccelerator",
+]
 
 #: Valid values of the ``schedule`` constructor argument.
 SCHEDULES = ("analytical", "executed")
+
+
+class ChipResources:
+    """The compute resources of one STAR chip, as a first-class object.
+
+    A schedule *occupies* these resources: the attention executor's
+    head-streams are tile groups of :attr:`matmul_engine`, its softmax
+    pool has :attr:`num_softmax_engines` discrete servers, and the chip's
+    power/area include the shared :attr:`system_overhead` substrate.
+    Factoring them out of :class:`STARAccelerator` lets the serving fleet
+    provision N identical chips and lets an idle or softmax-only chip be
+    costed without a full accelerator model around it.
+    """
+
+    def __init__(
+        self,
+        config: STARConfig | None = None,
+        num_softmax_engines: int = 64,
+        system_overhead: SystemOverheadModel = DEFAULT_SYSTEM_OVERHEAD,
+    ) -> None:
+        require_positive(num_softmax_engines, "num_softmax_engines")
+        self.config = config or STARConfig()
+        self.matmul_engine = MatMulEngine(self.config.matmul)
+        self.softmax_engine = RRAMSoftmaxEngine(self.config.softmax)
+        self.num_softmax_engines = num_softmax_engines
+        self.system_overhead = system_overhead
+
+    @property
+    def num_tiles(self) -> int:
+        """Crossbar tiles of the MatMul engine."""
+        return self.config.matmul.num_tiles
+
+    def attention_streams(self, num_heads: int, batch_size: int) -> int:
+        """Concurrent head-streams the tile budget supports for one workload."""
+        return attention_streams(num_heads, batch_size, self.num_tiles)
+
+    def executor(
+        self, workload: BertWorkload, jitter: StageJitter | None = None
+    ) -> PipelineExecutor:
+        """An event-driven executor occupying this chip's resources."""
+        return PipelineExecutor(
+            self.config.pipeline,
+            streams=self.attention_streams(workload.config.num_heads, workload.batch_size),
+            softmax_engines=self.num_softmax_engines,
+            jitter=jitter,
+        )
+
+    def power_w(self, seq_len: int = 128) -> float:
+        """Average chip power while executing inference at ``seq_len``."""
+        tiles = self.matmul_engine.peak_power_w()
+        softmax = self.num_softmax_engines * self.softmax_engine.power_w(seq_len)
+        overhead = self.system_overhead.total_power_w(self.num_tiles)
+        return tiles + softmax + overhead
+
+    def area_mm2(self) -> float:
+        """Total chip area."""
+        tiles = self.matmul_engine.area_mm2()
+        softmax = self.num_softmax_engines * self.softmax_engine.area_mm2()
+        overhead = self.system_overhead.total_area_mm2(self.num_tiles)
+        return tiles + softmax + overhead
 
 
 @dataclass(frozen=True)
@@ -53,6 +129,65 @@ class LayerLatencyBreakdown:
         return self.softmax_only_s / self.total_s if self.total_s > 0 else 0.0
 
 
+@dataclass(frozen=True)
+class ModelSchedule:
+    """Whole-model executed timing: every encoder layer, not one scaled stage.
+
+    Each layer's attention chain runs through the event-driven executor
+    (with per-layer jitter streams when jitter is configured); the
+    projection and FFN GEMMs are charged analytically — they are plain
+    weight-stationary GEMMs with no cross-stage pipelining to simulate.
+    """
+
+    layers: tuple[LayerLatencyBreakdown, ...]
+    attention_schedules: tuple[ExecutedSchedule, ...]
+
+    @property
+    def num_layers(self) -> int:
+        """Encoder layers in the schedule."""
+        return len(self.layers)
+
+    @property
+    def total_latency_s(self) -> float:
+        """End-to-end model latency."""
+        return sum(layer.total_s for layer in self.layers)
+
+    @property
+    def attention_latency_s(self) -> float:
+        """Total time spent in the executed attention pipelines."""
+        return sum(layer.attention_pipeline_s for layer in self.layers)
+
+    def softmax_utilization(self) -> float:
+        """Mean softmax-pool occupancy across the layers' executions."""
+        schedules = self.attention_schedules
+        return sum(s.utilization("softmax") for s in schedules) / len(schedules)
+
+
+@dataclass(frozen=True)
+class RequestTiming:
+    """Service time and energy of one batched inference request.
+
+    The quantity the request-level serving simulator charges a chip with:
+    ``latency_s`` occupies the chip's resources for the whole batch and
+    ``energy_j`` is the active energy of that occupancy.
+    """
+
+    batch_size: int
+    seq_len: int
+    latency_s: float
+    energy_j: float
+
+    @property
+    def latency_per_request_s(self) -> float:
+        """Amortised per-request service time within the batch."""
+        return self.latency_s / self.batch_size
+
+    @property
+    def energy_per_request_j(self) -> float:
+        """Amortised per-request energy within the batch."""
+        return self.energy_j / self.batch_size
+
+
 class STARAccelerator:
     """Architectural model of the full STAR accelerator.
 
@@ -61,11 +196,16 @@ class STARAccelerator:
     :class:`~repro.core.pipeline.AttentionPipeline` formulas (the fast
     default), ``"executed"`` runs the workload's rows through the
     event-driven :class:`~repro.core.scheduler.PipelineExecutor` with the
-    accelerator's actual resources — ``attention_streams`` parallel tile
-    groups for the GEMM stages and ``num_softmax_engines`` discrete softmax
+    chip's actual resources — ``attention_streams`` parallel tile groups
+    for the GEMM stages and ``num_softmax_engines`` discrete softmax
     engines — and reports the simulated makespan.  ``jitter`` optionally
     perturbs the executed per-row stage times (ignored by the analytical
     schedule, which cannot express it).
+
+    The chip's resources live in a :class:`ChipResources` object; pass one
+    as ``resources`` to share or replicate a provisioned chip (the serving
+    fleet does this), or let the constructor build one from ``config`` /
+    ``num_softmax_engines`` / ``system_overhead``.
     """
 
     name = "STAR"
@@ -77,18 +217,38 @@ class STARAccelerator:
         system_overhead: SystemOverheadModel = DEFAULT_SYSTEM_OVERHEAD,
         schedule: str = "analytical",
         jitter: StageJitter | None = None,
+        resources: ChipResources | None = None,
     ) -> None:
-        require_positive(num_softmax_engines, "num_softmax_engines")
         if schedule not in SCHEDULES:
             raise ValueError(f"schedule must be one of {SCHEDULES}, got {schedule!r}")
-        self.config = config or STARConfig()
-        self.matmul_engine = MatMulEngine(self.config.matmul)
-        self.softmax_engine = RRAMSoftmaxEngine(self.config.softmax)
-        self.num_softmax_engines = num_softmax_engines
+        if resources is None:
+            resources = ChipResources(config, num_softmax_engines, system_overhead)
+        else:
+            # an explicit resources object IS the chip: the piecewise
+            # parameters must be left at their defaults, or they would be
+            # silently ignored
+            if config is not None and resources.config is not config:
+                raise ValueError("pass either config or resources, not conflicting both")
+            if num_softmax_engines != 64 and num_softmax_engines != resources.num_softmax_engines:
+                raise ValueError(
+                    "pass either num_softmax_engines or resources, not conflicting both"
+                )
+            if (
+                system_overhead is not DEFAULT_SYSTEM_OVERHEAD
+                and system_overhead is not resources.system_overhead
+            ):
+                raise ValueError(
+                    "pass either system_overhead or resources, not conflicting both"
+                )
+        self.resources = resources
+        self.config = resources.config
+        self.matmul_engine = resources.matmul_engine
+        self.softmax_engine = resources.softmax_engine
+        self.num_softmax_engines = resources.num_softmax_engines
         self.pipeline = AttentionPipeline(self.config.pipeline)
         self.schedule = schedule
         self.jitter = jitter
-        self.system_overhead = system_overhead
+        self.system_overhead = resources.system_overhead
 
     # ------------------------------------------------------------------ #
     # latency
@@ -145,17 +305,16 @@ class STARAccelerator:
             num_rows=workload.batch_size * cfg.num_heads * seq_len,
         )
 
-    def attention_executor(self, workload: BertWorkload) -> PipelineExecutor:
-        """The event-driven executor provisioned for this workload."""
-        streams = attention_streams(
-            workload.config.num_heads, workload.batch_size, self.config.matmul.num_tiles
-        )
-        return PipelineExecutor(
-            self.config.pipeline,
-            streams=streams,
-            softmax_engines=self.num_softmax_engines,
-            jitter=self.jitter,
-        )
+    def attention_executor(
+        self, workload: BertWorkload, jitter: StageJitter | None = None
+    ) -> PipelineExecutor:
+        """The event-driven executor provisioned for this workload.
+
+        ``jitter`` overrides the accelerator-level jitter for this one
+        executor (used by :meth:`executed_model_schedule` to give every
+        encoder layer an independent jitter stream).
+        """
+        return self.resources.executor(workload, jitter=jitter or self.jitter)
 
     def executed_attention_schedule(
         self, workload: BertWorkload, granularity: str | None = None
@@ -195,27 +354,78 @@ class STARAccelerator:
             softmax_only_s=softmax_only,
         )
 
+    def executed_model_schedule(self, workload: BertWorkload) -> ModelSchedule:
+        """Execute the attention chain of **every** encoder layer.
+
+        This replaces the single analytically-scaled attention stage with
+        one event-driven execution per layer.  Without jitter the layers
+        are identical, so one execution is reused for all of them (the
+        totals stay bit-identical to ``num_layers`` independent runs);
+        with jitter each layer draws an independent per-row stream
+        (``seed + layer``), which is exactly the variation the one-stage
+        model cannot express.
+        """
+        native = self.native_attention_stage_timing(workload)
+        timing = self.attention_stage_timing(workload)
+        projection_s = self._projection_latency_s(workload)
+        ffn_s = self._ffn_latency_s(workload)
+        softmax_only = timing.softmax_row_s * timing.num_rows
+
+        schedules: list[ExecutedSchedule] = []
+        num_layers = workload.config.num_layers
+        if self.jitter is None or self.jitter.sigma == 0.0:
+            # jitter-free layers are identical: one execution serves all
+            schedules = [self.attention_executor(workload).execute(native)] * num_layers
+        else:
+            for layer in range(num_layers):
+                jitter = replace(self.jitter, seed=self.jitter.seed + layer)
+                schedules.append(
+                    self.attention_executor(workload, jitter=jitter).execute(native)
+                )
+        layers = tuple(
+            LayerLatencyBreakdown(
+                projection_s=projection_s,
+                attention_pipeline_s=schedule.total_latency_s,
+                ffn_s=ffn_s,
+                softmax_only_s=softmax_only,
+            )
+            for schedule in schedules
+        )
+        return ModelSchedule(layers=layers, attention_schedules=tuple(schedules))
+
     def inference_latency_s(self, workload: BertWorkload) -> float:
         """End-to-end latency of one BERT inference."""
+        if self.schedule == "executed":
+            return self.executed_model_schedule(workload).total_latency_s
         layer = self.layer_latency_breakdown(workload)
         return workload.config.num_layers * layer.total_s
+
+    def request_timing(self, workload: BertWorkload) -> RequestTiming:
+        """Service time and active energy of one batched inference request.
+
+        The serving simulator charges a chip with exactly this quantity
+        when it dispatches a batch: the chip is occupied for ``latency_s``
+        and spends ``power_w * latency_s`` joules doing it.
+        """
+        latency = self.inference_latency_s(workload)
+        energy = self.power_w(workload.seq_len) * latency
+        return RequestTiming(
+            batch_size=workload.batch_size,
+            seq_len=workload.seq_len,
+            latency_s=latency,
+            energy_j=energy,
+        )
 
     # ------------------------------------------------------------------ #
     # power and area
     # ------------------------------------------------------------------ #
     def power_w(self, seq_len: int = 128) -> float:
         """Average chip power while executing BERT-base inference."""
-        tiles = self.matmul_engine.peak_power_w()
-        softmax = self.num_softmax_engines * self.softmax_engine.power_w(seq_len)
-        overhead = self.system_overhead.total_power_w(self.config.matmul.num_tiles)
-        return tiles + softmax + overhead
+        return self.resources.power_w(seq_len)
 
     def area_mm2(self) -> float:
         """Total chip area."""
-        tiles = self.matmul_engine.area_mm2()
-        softmax = self.num_softmax_engines * self.softmax_engine.area_mm2()
-        overhead = self.system_overhead.total_area_mm2(self.config.matmul.num_tiles)
-        return tiles + softmax + overhead
+        return self.resources.area_mm2()
 
     # ------------------------------------------------------------------ #
     # reports

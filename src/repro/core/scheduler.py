@@ -48,15 +48,15 @@ assumed.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.core.config import PipelineConfig
+from repro.core.events import ARRIVE, FREE, EventLoop, ServerPool, StageJitter
 from repro.core.pipeline import PipelineSchedule, StageTiming, attention_streams
-from repro.utils.validation import require_non_negative, require_positive
+from repro.utils.validation import require_positive
 
 if TYPE_CHECKING:
     from repro.core.matmul_engine import MatMulEngine
@@ -74,30 +74,6 @@ __all__ = [
 
 #: The three pipeline stages, in dataflow order.
 STAGES = ("score", "softmax", "context")
-
-
-@dataclass(frozen=True)
-class StageJitter:
-    """Per-row multiplicative jitter on the stage service times.
-
-    Each (row, stage) service time is scaled by ``exp(sigma * z)`` with
-    ``z ~ N(0, 1)`` drawn from a generator seeded with ``seed`` — log-normal
-    factors keep every service time positive.  ``sigma = 0`` disables the
-    draw entirely, so a jitter-free executor stays bit-deterministic.
-    """
-
-    sigma: float = 0.0
-    seed: int = 0
-
-    def __post_init__(self) -> None:
-        require_non_negative(self.sigma, "sigma")
-
-    def factors(self, num_rows: int) -> np.ndarray:
-        """A ``(num_rows, 3)`` matrix of service-time scale factors."""
-        if self.sigma == 0.0:
-            return np.ones((num_rows, len(STAGES)))
-        rng = np.random.default_rng(self.seed)
-        return np.exp(self.sigma * rng.standard_normal((num_rows, len(STAGES))))
 
 
 @dataclass(frozen=True)
@@ -182,64 +158,6 @@ def _steady_interval(completions: np.ndarray, total: float) -> float:
         return total / n
     lo, hi = n // 4, n - n // 4 - 1
     return float((ordered[hi] - ordered[lo]) / (hi - lo))
-
-
-# Event kinds: a server finishing its forward (FREE) is processed before a
-# row arriving at the same instant (ARRIVE) so the arrival sees the idle
-# server directly; either order yields identical start times, FREE-first
-# just avoids a redundant queue round-trip.
-_FREE, _ARRIVE = 0, 1
-
-
-class _Stage:
-    """One pipeline stage: a set of servers with FIFO queues.
-
-    ``keyed=True`` binds each row to the server given by its stream (the
-    per-stream tile groups of the score/context GEMMs); ``keyed=False`` is
-    a shared pool (the softmax engines) with one queue drained by whichever
-    server frees first.  ``speedups`` divides the per-row service time of
-    each server (heterogeneous pools).
-    """
-
-    def __init__(self, name: str, num_servers: int, *, keyed: bool, speedups: Sequence[float]) -> None:
-        self.name = name
-        self.keyed = keyed
-        self.speedups = [float(s) for s in speedups]
-        if len(self.speedups) != num_servers:
-            raise ValueError(
-                f"{name}: got {len(self.speedups)} speedups for {num_servers} servers"
-            )
-        for speed in self.speedups:
-            require_positive(speed, f"{name} server speedup")
-        self.idle = [True] * num_servers
-        self.queues: list[list[int]] = [[] for _ in range(num_servers if keyed else 1)]
-        self.heads = [0] * len(self.queues)
-        self.busy_s = 0.0
-        self.queue_peak = 0
-        self.rows_served = [0] * num_servers
-
-    def queue_of(self, stream: int) -> int:
-        return stream if self.keyed else 0
-
-    def enqueue(self, queue: int, row: int) -> None:
-        self.queues[queue].append(row)
-        depth = sum(len(q) - h for q, h in zip(self.queues, self.heads))
-        self.queue_peak = max(self.queue_peak, depth)
-
-    def pop(self, queue: int) -> int | None:
-        if self.heads[queue] >= len(self.queues[queue]):
-            return None
-        row = self.queues[queue][self.heads[queue]]
-        self.heads[queue] += 1
-        return row
-
-    def idle_server(self, stream: int) -> int | None:
-        if self.keyed:
-            return stream if self.idle[stream] else None
-        for index, free in enumerate(self.idle):
-            if free:
-                return index
-        return None
 
 
 class PipelineExecutor:
@@ -380,16 +298,16 @@ class PipelineExecutor:
     # ------------------------------------------------------------------ #
     # vector-grained: event-driven simulation
     # ------------------------------------------------------------------ #
-    def _build_stages(self) -> list[_Stage]:
+    def _build_stages(self) -> list[ServerPool]:
         return [
-            _Stage("score", self.streams, keyed=True, speedups=(1.0,) * self.streams),
-            _Stage(
+            ServerPool("score", self.streams, keyed=True),
+            ServerPool(
                 "softmax",
                 self.softmax_engines,
                 keyed=False,
                 speedups=self.softmax_speedups,
             ),
-            _Stage("context", self.streams, keyed=True, speedups=(1.0,) * self.streams),
+            ServerPool("context", self.streams, keyed=True),
         ]
 
     def _run_vector(
@@ -407,38 +325,30 @@ class PipelineExecutor:
         ends = np.zeros((n, len(STAGES)))
         server_of = np.zeros((n, len(STAGES)), dtype=np.int64)
 
-        # (time, kind, tiebreak, stage, row-or-server); the counter keeps the
-        # heap stable, FREE at time t sorts before ARRIVE at time t
-        events: list[tuple[float, int, int, int, int]] = []
-        counter = 0
+        # FREE at time t sorts before ARRIVE at time t, so the arrival sees
+        # the freshly idled server directly (see repro.core.events)
+        loop = EventLoop()
         for row in range(n):
-            heapq.heappush(events, (0.0, _ARRIVE, counter, 0, row))
-            counter += 1
+            loop.schedule(0.0, ARRIVE, 0, row)
 
         def start_service(time: float, stage_index: int, server: int, row: int) -> None:
-            nonlocal counter
             stage = stages[stage_index]
-            stage.idle[server] = False
-            stage.rows_served[server] += 1
-            service = services[stage_index][row] / stage.speedups[server]
+            stage.acquire(server)
+            service = stage.service_time(server, services[stage_index][row])
             end = time + service
-            stage.busy_s += service + handoff
+            stage.occupy(service + handoff)
             starts[row, stage_index] = time
             ends[row, stage_index] = end
             server_of[row, stage_index] = server
             # the server forwards the row before accepting the next one
-            heapq.heappush(events, (end + handoff, _FREE, counter, stage_index, server))
-            counter += 1
+            loop.schedule(end + handoff, FREE, stage_index, server)
             if stage_index + 1 < len(STAGES):
-                heapq.heappush(
-                    events, (end + handoff, _ARRIVE, counter, stage_index + 1, row)
-                )
-                counter += 1
+                loop.schedule(end + handoff, ARRIVE, stage_index + 1, row)
 
-        while events:
-            time, kind, _, stage_index, payload = heapq.heappop(events)
+        while loop:
+            time, kind, (stage_index, payload) = loop.pop()
             stage = stages[stage_index]
-            if kind == _ARRIVE:
+            if kind == ARRIVE:
                 row = payload
                 stream = int(stream_of[row])
                 server = stage.idle_server(stream)
@@ -447,11 +357,10 @@ class PipelineExecutor:
                     stage.enqueue(queue, row)
                 else:
                     start_service(time, stage_index, server, row)
-            else:  # _FREE
+            else:  # FREE
                 server = payload
-                stage.idle[server] = True
-                queue = server if stage.keyed else 0
-                row = stage.pop(queue)
+                stage.release(server)
+                row = stage.pop(stage.queue_of(server))
                 if row is not None:
                     start_service(time, stage_index, server, row)
 
@@ -487,13 +396,13 @@ class PipelineExecutor:
                     server = int(stream_of[row])
                 else:
                     server = int(np.argmin(free_at))
-                service = services[stage_index][row] / stage.speedups[server]
+                service = stage.service_time(server, services[stage_index][row])
                 starts[row, stage_index] = free_at[server]
                 ends[row, stage_index] = free_at[server] + service
                 server_of[row, stage_index] = server
                 free_at[server] = ends[row, stage_index]
-                stage.busy_s += service
-                stage.rows_served[server] += 1
+                stage.occupy(service)
+                stage.served[server] += 1
             # the whole operand queues ahead of every phase: all rows are
             # resident before any of them starts
             stage.queue_peak = n
@@ -515,7 +424,7 @@ class PipelineExecutor:
         ends: np.ndarray,
         server_of: np.ndarray,
         stream_of: np.ndarray,
-        stages: list[_Stage],
+        stages: list[ServerPool],
         completions: np.ndarray,
     ) -> ExecutedSchedule:
         records = tuple(
@@ -541,7 +450,7 @@ class PipelineExecutor:
             records=records,
             stage_busy_s={stage.name: stage.busy_s for stage in stages},
             queue_peaks={stage.name: stage.queue_peak for stage in stages},
-            engine_rows=tuple(stages[1].rows_served),
+            engine_rows=tuple(stages[1].served),
         )
 
 

@@ -34,7 +34,9 @@ def main(argv: list[str] | None = None) -> int:
     try:
         print(run_all(args.experiments or None))
     except KeyError as error:
-        parser.error(str(error))
+        # argparse-style exit(2) with the message itself, not KeyError's
+        # quoted repr of it
+        parser.error(error.args[0])
     return 0
 
 

@@ -17,7 +17,7 @@ from it here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -137,6 +137,25 @@ class BertWorkload:
             raise ValueError(f"seq_len must be >= 1, got {self.seq_len}")
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    # ------------------------------------------------------------------ #
+    # request-level derivatives (serving)
+    # ------------------------------------------------------------------ #
+    def with_batch(self, batch_size: int) -> "BertWorkload":
+        """The same model and length serving ``batch_size`` requests at once.
+
+        The serving simulator prices every dispatched batch as one such
+        workload: a batch of requests is a single batched inference.
+        """
+        return replace(self, batch_size=batch_size)
+
+    def with_seq_len(self, seq_len: int) -> "BertWorkload":
+        """The same model padded/truncated to ``seq_len`` tokens per request."""
+        return replace(self, seq_len=seq_len)
+
+    def ops_per_request(self) -> float:
+        """Primitive operations attributable to one request of the batch."""
+        return self.total_ops() / self.batch_size
 
     # ------------------------------------------------------------------ #
     # per-component counts (single layer)

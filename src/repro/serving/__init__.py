@@ -1,0 +1,44 @@
+"""Request-level serving simulation of STAR accelerator fleets.
+
+The paper models one attention stage; production serving is requests:
+arrival processes, dynamic batching, whole-model chip occupancy and
+tail-latency/energy-per-query reporting.  This package assembles those
+layers on the shared discrete-event core (:mod:`repro.core.events`):
+
+* :mod:`~repro.serving.arrivals` — open-loop Poisson and trace-driven
+  request streams;
+* :mod:`~repro.serving.batcher` — the max-size + timeout dynamic batcher;
+* :mod:`~repro.serving.fleet` — single- and multi-chip fleets priced by a
+  service model (the STAR accelerator's whole-model request timing, or a
+  fixed-service stand-in for theory checks);
+* :mod:`~repro.serving.simulator` — the event-driven simulation itself;
+* :mod:`~repro.serving.report` — throughput / p50-p95-p99 latency / queue
+  / utilization / energy-per-query reporting;
+* :mod:`~repro.serving.theory` — M/D/1 (and M/M/1) closed forms the
+  simulator is cross-validated against.
+"""
+
+from repro.serving.arrivals import PoissonArrivals, Request, TraceArrivals
+from repro.serving.batcher import NO_BATCHING, DynamicBatcher
+from repro.serving.fleet import ChipFleet, FixedServiceModel, ServiceModel, StarServiceModel
+from repro.serving.report import BatchRecord, RequestRecord, ServingReport
+from repro.serving.simulator import ServingSimulator
+from repro.serving.theory import MD1Queue, MM1Queue
+
+__all__ = [
+    "Request",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "DynamicBatcher",
+    "NO_BATCHING",
+    "ServiceModel",
+    "FixedServiceModel",
+    "StarServiceModel",
+    "ChipFleet",
+    "ServingSimulator",
+    "RequestRecord",
+    "BatchRecord",
+    "ServingReport",
+    "MD1Queue",
+    "MM1Queue",
+]

@@ -1,0 +1,138 @@
+"""Request arrival processes for the serving simulator.
+
+A *request* is one inference query: a sequence of ``seq_len`` tokens that
+arrives at ``arrival_s`` and wants a full encoder forward pass.  Two
+arrival processes cover the standard serving-evaluation methodology:
+
+* :class:`PoissonArrivals` — the open-loop memoryless arrival stream used
+  by queueing-theory cross-validation and load sweeps (exponential
+  inter-arrival gaps at a configured offered rate);
+* :class:`TraceArrivals` — replay of an explicit timestamp trace, for
+  production traces or adversarial patterns (bursts, on/off phases) that
+  no closed-form process expresses.
+
+Both support fixed or per-request sequence lengths, so a heterogeneous
+length mix can flow through the dynamic batcher (a batch pads to its
+longest member).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["Request", "PoissonArrivals", "TraceArrivals"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference query entering the serving system."""
+
+    index: int
+    arrival_s: float
+    seq_len: int
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.arrival_s, "arrival_s")
+        require_positive(self.seq_len, "seq_len")
+
+
+def _draw_seq_lens(
+    seq_len: int | Sequence[int], count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Fixed length, or a uniform draw over the given choices, per request."""
+    if isinstance(seq_len, (int, np.integer)):
+        require_positive(int(seq_len), "seq_len")
+        return np.full(count, int(seq_len), dtype=np.int64)
+    choices = np.asarray(list(seq_len), dtype=np.int64)
+    if choices.size == 0:
+        raise ValueError("seq_len choices must not be empty")
+    if choices.min() < 1:
+        raise ValueError(f"sequence lengths must be positive, got {choices.min()}")
+    return rng.choice(choices, size=count)
+
+
+class PoissonArrivals:
+    """Open-loop Poisson arrival stream at a fixed offered rate.
+
+    ``seq_len`` is either one length for every request or a sequence of
+    lengths sampled uniformly per request.  The stream is seeded and
+    therefore reproducible; the same process object always generates the
+    same trace for the same ``num_requests``.
+    """
+
+    def __init__(
+        self,
+        rate_rps: float,
+        seq_len: int | Sequence[int] = 128,
+        seed: int = 0,
+    ) -> None:
+        require_positive(rate_rps, "rate_rps")
+        self.rate_rps = float(rate_rps)
+        self.seq_len = seq_len
+        self.seed = seed
+
+    def generate(self, num_requests: int) -> list[Request]:
+        """The first ``num_requests`` arrivals of the stream."""
+        require_positive(num_requests, "num_requests")
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(1.0 / self.rate_rps, size=num_requests)
+        times = np.cumsum(gaps)
+        lens = _draw_seq_lens(self.seq_len, num_requests, rng)
+        return [
+            Request(index=i, arrival_s=float(times[i]), seq_len=int(lens[i]))
+            for i in range(num_requests)
+        ]
+
+
+class TraceArrivals:
+    """Replay of an explicit arrival-timestamp trace.
+
+    ``times_s`` must be non-decreasing.  ``seq_len`` is one fixed length, a
+    per-request sequence matching the trace, or a set of choices sampled
+    uniformly (seeded).
+    """
+
+    def __init__(
+        self,
+        times_s: Sequence[float],
+        seq_len: int | Sequence[int] = 128,
+        seed: int = 0,
+        per_request_lens: Sequence[int] | None = None,
+    ) -> None:
+        times = np.asarray(list(times_s), dtype=np.float64)
+        if times.size == 0:
+            raise ValueError("an arrival trace needs at least one timestamp")
+        if times.min() < 0:
+            raise ValueError("arrival timestamps must be non-negative")
+        if np.any(np.diff(times) < 0):
+            raise ValueError("arrival timestamps must be non-decreasing")
+        if per_request_lens is not None and len(per_request_lens) != times.size:
+            raise ValueError(
+                f"per_request_lens has {len(per_request_lens)} entries for "
+                f"{times.size} arrivals"
+            )
+        self.times_s = times
+        self.seq_len = seq_len
+        self.seed = seed
+        self.per_request_lens = (
+            None if per_request_lens is None else np.asarray(per_request_lens, dtype=np.int64)
+        )
+
+    def generate(self, num_requests: int | None = None) -> list[Request]:
+        """The trace's requests (optionally truncated to ``num_requests``)."""
+        count = self.times_s.size if num_requests is None else min(num_requests, self.times_s.size)
+        require_positive(count, "num_requests")
+        if self.per_request_lens is not None:
+            lens = self.per_request_lens[:count]
+        else:
+            rng = np.random.default_rng(self.seed)
+            lens = _draw_seq_lens(self.seq_len, count, rng)
+        return [
+            Request(index=i, arrival_s=float(self.times_s[i]), seq_len=int(lens[i]))
+            for i in range(count)
+        ]

@@ -1,0 +1,59 @@
+"""Dynamic batching policy: batch-size cap plus an accumulation timeout.
+
+The policy is the standard server-side dynamic batcher (Triton's
+``max_queue_delay``, vLLM's waiting-queue cap): queued requests are
+released to an idle chip as soon as either
+
+* the queue holds a full batch (``max_batch_size`` requests), or
+* the oldest queued request has waited ``max_wait_s``.
+
+``max_wait_s = 0`` dispatches greedily — whatever is queued (up to the
+cap) leaves the moment a chip is free, which with ``max_batch_size = 1``
+degenerates to pure FIFO single-request service (the M/D/1 regime the
+cross-validation tests exercise).  A non-zero timeout trades first-token
+latency for throughput: lightly-loaded systems hold requests briefly to
+amortise the batch's weight reads over more queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["DynamicBatcher", "NO_BATCHING"]
+
+
+@dataclass(frozen=True)
+class DynamicBatcher:
+    """Release policy of the serving queue.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Largest batch one chip dispatch may contain.
+    max_wait_s:
+        Longest the oldest queued request may wait for co-batched company
+        before a partial batch is released anyway.
+    """
+
+    max_batch_size: int = 8
+    max_wait_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.max_batch_size, "max_batch_size")
+        require_non_negative(self.max_wait_s, "max_wait_s")
+
+    def ready(self, queue_len: int, oldest_wait_s: float) -> bool:
+        """Should a batch be released to an idle chip right now?"""
+        if queue_len <= 0:
+            return False
+        return queue_len >= self.max_batch_size or oldest_wait_s >= self.max_wait_s
+
+    def batch_of(self, queue_len: int) -> int:
+        """How many requests the next dispatch takes from the queue."""
+        return min(queue_len, self.max_batch_size)
+
+
+#: Pure FIFO single-request service — the M/D/1 cross-validation regime.
+NO_BATCHING = DynamicBatcher(max_batch_size=1, max_wait_s=0.0)

@@ -1,0 +1,135 @@
+"""Chip fleets: the serving simulator's server pool and its service model.
+
+A fleet is ``num_chips`` accelerator chips sharing one dispatch queue.
+What a batch costs is delegated to a *service model*:
+
+* :class:`StarServiceModel` — the real thing: a
+  :class:`~repro.core.accelerator.STARAccelerator` (one
+  :class:`~repro.core.accelerator.ChipResources` worth of tile banks,
+  softmax engines and overheads) prices a batch as a whole-model BERT
+  inference at the batch's padded sequence length, with energy charged at
+  the chip's active power.  Timings are cached per ``(batch, seq_len)``
+  shape — the model is deterministic, so each shape is priced once.
+* :class:`FixedServiceModel` — a synthetic deterministic service used by
+  the queueing-theory cross-validation (M/D/1 needs a known constant
+  service time, not a full accelerator model).
+
+Heterogeneous fleets (e.g. one older slower chip) are expressed through
+per-chip ``speedups``, exactly like the executor's unbalanced
+softmax-engine pools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["ServiceModel", "FixedServiceModel", "StarServiceModel", "ChipFleet"]
+
+
+class ServiceModel(Protocol):
+    """Prices one dispatched batch on one (speed-1.0) chip."""
+
+    def batch_latency_s(self, batch_size: int, seq_len: int) -> float:
+        """Service time of a ``batch_size`` batch padded to ``seq_len``."""
+        ...
+
+    def batch_energy_j(self, batch_size: int, seq_len: int) -> float:
+        """Active energy of serving that batch."""
+        ...
+
+
+@dataclass(frozen=True)
+class FixedServiceModel:
+    """Deterministic per-request service, serialized within a batch.
+
+    A batch of ``b`` requests costs ``b * request_latency_s`` — no batching
+    benefit, which keeps the no-batching single-chip limit an exact M/D/1
+    queue with service time ``request_latency_s``.
+    """
+
+    request_latency_s: float
+    request_energy_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.request_latency_s, "request_latency_s")
+        require_non_negative(self.request_energy_j, "request_energy_j")
+
+    def batch_latency_s(self, batch_size: int, seq_len: int) -> float:
+        return batch_size * self.request_latency_s
+
+    def batch_energy_j(self, batch_size: int, seq_len: int) -> float:
+        return batch_size * self.request_energy_j
+
+
+class StarServiceModel:
+    """Batch pricing by a STAR accelerator's whole-model timing.
+
+    ``accelerator`` defaults to the stock analytical-schedule
+    :class:`~repro.core.accelerator.STARAccelerator`; pass a
+    ``schedule="executed"`` instance to price batches with the event-driven
+    executor instead (slower, but captures jitter and discrete pools).
+    ``bert_config`` sizes the served model.  Results are cached per
+    ``(batch_size, seq_len)``.
+    """
+
+    def __init__(self, accelerator=None, bert_config=None) -> None:
+        from repro.core.accelerator import STARAccelerator
+        from repro.nn.bert import BERT_BASE, BertWorkload
+
+        self.accelerator = accelerator or STARAccelerator()
+        self.bert_config = bert_config or BERT_BASE
+        self._base_workload = BertWorkload(config=self.bert_config)
+        self._cache: dict[tuple[int, int], tuple[float, float]] = {}
+
+    def _timing(self, batch_size: int, seq_len: int) -> tuple[float, float]:
+        key = (batch_size, seq_len)
+        if key not in self._cache:
+            workload = self._base_workload.with_seq_len(seq_len).with_batch(batch_size)
+            timing = self.accelerator.request_timing(workload)
+            self._cache[key] = (timing.latency_s, timing.energy_j)
+        return self._cache[key]
+
+    def batch_latency_s(self, batch_size: int, seq_len: int) -> float:
+        return self._timing(batch_size, seq_len)[0]
+
+    def batch_energy_j(self, batch_size: int, seq_len: int) -> float:
+        return self._timing(batch_size, seq_len)[1]
+
+
+class ChipFleet:
+    """``num_chips`` chips sharing one dispatch queue.
+
+    ``speedups`` divides each chip's batch service time (and scales its
+    energy down accordingly — a faster chip finishes the same work
+    sooner at the same power).
+    """
+
+    def __init__(
+        self,
+        service_model: ServiceModel,
+        num_chips: int = 1,
+        speedups: Sequence[float] | None = None,
+    ) -> None:
+        require_positive(num_chips, "num_chips")
+        self.service_model = service_model
+        self.num_chips = num_chips
+        if speedups is None:
+            speedups = (1.0,) * num_chips
+        self.speedups = tuple(float(s) for s in speedups)
+        if len(self.speedups) != num_chips:
+            raise ValueError(
+                f"got {len(self.speedups)} speedups for {num_chips} chips"
+            )
+        for speed in self.speedups:
+            require_positive(speed, "chip speedup")
+
+    def batch_latency_s(self, chip: int, batch_size: int, seq_len: int) -> float:
+        """Service time of the batch on one specific chip."""
+        return self.service_model.batch_latency_s(batch_size, seq_len) / self.speedups[chip]
+
+    def batch_energy_j(self, chip: int, batch_size: int, seq_len: int) -> float:
+        """Energy of the batch on one specific chip."""
+        return self.service_model.batch_energy_j(batch_size, seq_len) / self.speedups[chip]

@@ -1,0 +1,234 @@
+"""The serving report: what a load test of the simulated fleet produces.
+
+Everything a capacity planner asks of a serving system in one frozen
+result object — sustained throughput, mean/tail latency (p50/p95/p99 via
+:func:`repro.utils.stats.percentile`), queueing behaviour, per-chip
+utilization, batching efficacy and energy per query — plus the raw
+per-request and per-batch records the property tests and Little's-law
+cross-checks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.stats import percentile
+
+__all__ = ["RequestRecord", "BatchRecord", "ServingReport"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Timestamps of one request's trip through the serving system."""
+
+    index: int
+    arrival_s: float
+    dispatch_s: float
+    completion_s: float
+    chip: int
+    batch_index: int
+    batch_size: int
+    seq_len: int
+
+    @property
+    def wait_s(self) -> float:
+        """Time spent queued before a chip started the request's batch."""
+        return self.dispatch_s - self.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end request latency (arrival to completion)."""
+        return self.completion_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One dispatched batch and what serving it cost."""
+
+    index: int
+    chip: int
+    dispatch_s: float
+    completion_s: float
+    size: int
+    seq_len: int
+    energy_j: float
+
+    @property
+    def service_s(self) -> float:
+        """Chip occupancy of the batch."""
+        return self.completion_s - self.dispatch_s
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Result of one serving simulation run."""
+
+    num_chips: int
+    requests: tuple[RequestRecord, ...]
+    batches: tuple[BatchRecord, ...]
+    chip_busy_s: tuple[float, ...]
+    queue_peak: int
+
+    # ------------------------------------------------------------------ #
+    # volume and rates
+    # ------------------------------------------------------------------ #
+    @property
+    def num_requests(self) -> int:
+        """Requests that completed service."""
+        return len(self.requests)
+
+    @property
+    def makespan_s(self) -> float:
+        """First arrival to last completion."""
+        if not self.requests:
+            return 0.0
+        start = min(r.arrival_s for r in self.requests)
+        end = max(r.completion_s for r in self.requests)
+        return end - start
+
+    @property
+    def offered_rate_rps(self) -> float:
+        """Mean arrival rate observed over the run."""
+        if len(self.requests) < 2:
+            return 0.0
+        arrivals = sorted(r.arrival_s for r in self.requests)
+        span = arrivals[-1] - arrivals[0]
+        return (len(arrivals) - 1) / span if span > 0 else float("inf")
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of makespan."""
+        span = self.makespan_s
+        return self.num_requests / span if span > 0 else float("inf")
+
+    # ------------------------------------------------------------------ #
+    # latency and queueing
+    # ------------------------------------------------------------------ #
+    def latency_percentile_s(self, q: float) -> float:
+        """Interpolated end-to-end latency percentile."""
+        return float(percentile([r.latency_s for r in self.requests], q))
+
+    @property
+    def p50_latency_s(self) -> float:
+        """Median end-to-end latency."""
+        return self.latency_percentile_s(50.0)
+
+    @property
+    def p95_latency_s(self) -> float:
+        """95th-percentile end-to-end latency."""
+        return self.latency_percentile_s(95.0)
+
+    @property
+    def p99_latency_s(self) -> float:
+        """99th-percentile end-to-end latency."""
+        return self.latency_percentile_s(99.0)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end latency."""
+        return float(np.mean([r.latency_s for r in self.requests]))
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Mean queueing delay before dispatch."""
+        return float(np.mean([r.wait_s for r in self.requests]))
+
+    @property
+    def mean_queue_depth(self) -> float:
+        """Time-averaged number of queued (not yet dispatched) requests.
+
+        By Little's law applied to the waiting room this is the summed
+        waiting time divided by the observation window.
+        """
+        span = self.makespan_s
+        if span <= 0:
+            return 0.0
+        return sum(r.wait_s for r in self.requests) / span
+
+    @property
+    def mean_in_system(self) -> float:
+        """Time-averaged number of requests in the system (queued or running)."""
+        span = self.makespan_s
+        if span <= 0:
+            return 0.0
+        return sum(r.latency_s for r in self.requests) / span
+
+    # ------------------------------------------------------------------ #
+    # batching, occupancy and energy
+    # ------------------------------------------------------------------ #
+    @property
+    def num_batches(self) -> int:
+        """Batches dispatched over the run."""
+        return len(self.batches)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean requests per dispatched batch."""
+        if not self.batches:
+            return 0.0
+        return self.num_requests / self.num_batches
+
+    def chip_utilization(self, chip: int) -> float:
+        """Busy fraction of one chip over the makespan."""
+        span = self.makespan_s
+        return self.chip_busy_s[chip] / span if span > 0 else 0.0
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean busy fraction across the fleet."""
+        span = self.makespan_s
+        if span <= 0:
+            return 0.0
+        return sum(self.chip_busy_s) / (self.num_chips * span)
+
+    @property
+    def energy_j(self) -> float:
+        """Total active energy spent serving all batches."""
+        return sum(batch.energy_j for batch in self.batches)
+
+    @property
+    def energy_per_query_j(self) -> float:
+        """Active energy per completed request — the serving-side figure of merit."""
+        if not self.requests:
+            return 0.0
+        return self.energy_j / self.num_requests
+
+    # ------------------------------------------------------------------ #
+    # presentation
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict[str, float]:
+        """Dictionary form used by the benchmark harness."""
+        return {
+            "num_requests": float(self.num_requests),
+            "offered_rate_rps": self.offered_rate_rps,
+            "throughput_rps": self.throughput_rps,
+            "mean_latency_s": self.mean_latency_s,
+            "p50_latency_s": self.p50_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "mean_wait_s": self.mean_wait_s,
+            "mean_queue_depth": self.mean_queue_depth,
+            "queue_peak": float(self.queue_peak),
+            "mean_batch_size": self.mean_batch_size,
+            "mean_utilization": self.mean_utilization,
+            "energy_per_query_j": self.energy_per_query_j,
+        }
+
+    def format_table(self) -> str:
+        """Printable one-run summary."""
+        lines = [
+            f"requests / batches      : {self.num_requests} / {self.num_batches} "
+            f"(mean batch {self.mean_batch_size:.2f})",
+            f"offered / served rate   : {self.offered_rate_rps:.1f} / "
+            f"{self.throughput_rps:.1f} req/s",
+            f"latency p50/p95/p99     : {self.p50_latency_s * 1e6:.1f} / "
+            f"{self.p95_latency_s * 1e6:.1f} / {self.p99_latency_s * 1e6:.1f} us",
+            f"mean wait / queue depth : {self.mean_wait_s * 1e6:.1f} us / "
+            f"{self.mean_queue_depth:.2f} (peak {self.queue_peak})",
+            f"fleet utilization       : {self.mean_utilization * 100:.1f}% "
+            f"over {self.num_chips} chip(s)",
+            f"energy per query        : {self.energy_per_query_j * 1e6:.2f} uJ",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Request-level discrete-event simulation of a serving fleet.
+
+The simulator is a thin client of :mod:`repro.core.events` — the same
+event-loop/server-pool substrate the attention-pipeline executor runs on,
+one level up the stack: the *servers* are whole accelerator chips, the
+*items* are inference requests, and service times are whole-model batched
+inference latencies from the fleet's service model.
+
+Dynamics
+--------
+
+Requests arrive open-loop (their timestamps do not react to system state),
+join one fleet-wide FIFO queue, and leave in dispatched batches governed by
+the :class:`~repro.serving.batcher.DynamicBatcher`: an idle chip takes a
+batch as soon as the queue holds ``max_batch_size`` requests **or** the
+oldest queued request has waited ``max_wait_s``.  A dispatched batch pads
+to its longest member's sequence length, occupies its chip for the service
+model's batch latency, and completes all member requests at once (requests
+within a batch keep FIFO order in the records).  In the single-chip,
+no-batching limit with deterministic service this is exactly an M/D/1
+queue, which :mod:`repro.serving.theory` cross-validates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.events import ARRIVE, FREE, TIMEOUT, EventLoop, ServerPool
+from repro.serving.arrivals import Request
+from repro.serving.batcher import NO_BATCHING, DynamicBatcher
+from repro.serving.fleet import ChipFleet
+from repro.serving.report import BatchRecord, RequestRecord, ServingReport
+
+__all__ = ["ServingSimulator"]
+
+#: Deferred dispatch check: sorts after FREE/ARRIVE/TIMEOUT at the same
+#: instant, so simultaneous arrivals (real in replayed traces) are all
+#: enqueued before any batch-formation decision at that timestamp.
+_DISPATCH = TIMEOUT + 1
+
+
+class ServingSimulator:
+    """Event-driven executor of a request stream over a chip fleet."""
+
+    def __init__(self, fleet: ChipFleet, batcher: DynamicBatcher = NO_BATCHING) -> None:
+        self.fleet = fleet
+        self.batcher = batcher
+
+    def run(self, requests: Sequence[Request]) -> ServingReport:
+        """Serve every request and report the completed run.
+
+        ``requests`` need not be sorted; they are served in arrival order
+        (ties broken by the given order, which arrival generators emit by
+        index).
+        """
+        if not requests:
+            raise ValueError("cannot simulate an empty request stream")
+        ordered = sorted(requests, key=lambda r: r.arrival_s)
+
+        loop = EventLoop()
+        chips = ServerPool("chips", self.fleet.num_chips, speedups=self.fleet.speedups)
+        for request in ordered:
+            loop.schedule(request.arrival_s, ARRIVE, request)
+
+        request_records: list[RequestRecord] = []
+        batch_records: list[BatchRecord] = []
+        timed_wait = self.batcher.max_wait_s > 0.0
+        queued: set[int] = set()  # indexes awaiting dispatch (timeout liveness)
+
+        def dispatch(time: float, force: bool = False) -> None:
+            """Release ready batches to idle chips until either runs out.
+
+            ``force`` releases the first batch even if the policy says the
+            head is not quite mature: it is set by a TIMEOUT event whose
+            request is still queued, where ``(arrival + max_wait) - arrival``
+            may round below ``max_wait`` and strand the queue forever.
+            """
+            while True:
+                depth = chips.queue_depth()
+                oldest = chips.peek(0)
+                if oldest is None:
+                    return
+                if not force and not self.batcher.ready(depth, time - oldest.arrival_s):
+                    return
+                chip = chips.idle_server()
+                if chip is None:
+                    return
+                force = False  # one forced batch per timeout
+                batch = [chips.pop(0) for _ in range(self.batcher.batch_of(depth))]
+                queued.difference_update(r.index for r in batch)
+                seq_len = max(r.seq_len for r in batch)
+                service = self.fleet.batch_latency_s(chip, len(batch), seq_len)
+                completion = time + service
+                chips.acquire(chip)
+                chips.occupy(service)
+                loop.schedule(completion, FREE, chip)
+                batch_index = len(batch_records)
+                batch_records.append(
+                    BatchRecord(
+                        index=batch_index,
+                        chip=chip,
+                        dispatch_s=time,
+                        completion_s=completion,
+                        size=len(batch),
+                        seq_len=seq_len,
+                        energy_j=self.fleet.batch_energy_j(chip, len(batch), seq_len),
+                    )
+                )
+                request_records.extend(
+                    RequestRecord(
+                        index=r.index,
+                        arrival_s=r.arrival_s,
+                        dispatch_s=time,
+                        completion_s=completion,
+                        chip=chip,
+                        batch_index=batch_index,
+                        batch_size=len(batch),
+                        seq_len=seq_len,
+                    )
+                    for r in batch
+                )
+
+        while loop:
+            time, kind, data = loop.pop()
+            if kind == ARRIVE:
+                request = data[0]
+                chips.enqueue(0, request)
+                queued.add(request.index)
+                if timed_wait:
+                    # lazy maturity timer: when it fires the request either
+                    # already left in a batch (no-op) or unblocks a partial one
+                    loop.schedule(
+                        time + self.batcher.max_wait_s, TIMEOUT, request.index
+                    )
+                loop.schedule(time, _DISPATCH)
+            elif kind == FREE:
+                chips.release(data[0])
+                loop.schedule(time, _DISPATCH)
+            elif kind == TIMEOUT:
+                if data[0] in queued:
+                    loop.schedule(time, _DISPATCH, data[0])
+            else:  # _DISPATCH
+                # force only if the matured request is *still* waiting now
+                dispatch(time, force=bool(data) and data[0] in queued)
+
+        # the pool tracks aggregate busy time; per-chip occupancy comes from
+        # the batch records (each batch knows which chip it occupied)
+        per_chip_busy = [0.0] * self.fleet.num_chips
+        for batch in batch_records:
+            per_chip_busy[batch.chip] += batch.service_s
+        return ServingReport(
+            num_chips=self.fleet.num_chips,
+            requests=tuple(request_records),
+            batches=tuple(batch_records),
+            chip_busy_s=tuple(per_chip_busy),
+            queue_peak=chips.queue_peak,
+        )

@@ -1,0 +1,100 @@
+"""Closed-form queueing theory the serving simulator is validated against.
+
+In the single-chip, no-batching limit with Poisson arrivals and a
+deterministic whole-model service time, the simulated system is exactly an
+M/D/1 queue, so the Pollaczek–Khinchine formula predicts its steady-state
+waiting time:
+
+    W_q = lambda * E[S^2] / (2 * (1 - rho))          (general M/G/1)
+        = rho * s / (2 * (1 - rho))                  (deterministic S = s)
+
+The cross-validation suite drives the simulator at moderate utilization
+and requires the measured mean wait to land within a few percent of this —
+the serving-level analogue of the pipeline executor's closed-form
+cross-checks.  :class:`MM1Queue` (exponential service) is included as the
+pessimistic bracket: a deterministic server waits exactly half as long as
+an exponential one, so a correct simulation must fall on the M/D/1 line,
+not the M/M/1 one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_positive
+
+__all__ = ["MD1Queue", "MM1Queue"]
+
+
+class _SingleServerQueue:
+    """Shared derived quantities of a single-server queue at rate/service."""
+
+    arrival_rate_rps: float
+    service_s: float
+
+    @property
+    def utilization(self) -> float:
+        """Offered load ``rho = lambda * s``."""
+        return self.arrival_rate_rps * self.service_s
+
+    @property
+    def mean_wait_s(self) -> float:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean sojourn time: queueing wait plus service."""
+        return self.mean_wait_s + self.service_s
+
+    @property
+    def mean_queue_len(self) -> float:
+        """Mean number waiting (Little's law on the queue)."""
+        return self.arrival_rate_rps * self.mean_wait_s
+
+    @property
+    def mean_in_system(self) -> float:
+        """Mean number in the system (Little's law on the sojourn)."""
+        return self.arrival_rate_rps * self.mean_latency_s
+
+    def _check(self) -> None:
+        require_positive(self.arrival_rate_rps, "arrival_rate_rps")
+        require_positive(self.service_s, "service_s")
+        if self.utilization >= 1.0:
+            raise ValueError(
+                f"queue is unstable: rho = {self.utilization:.3f} >= 1 "
+                f"(rate {self.arrival_rate_rps} rps, service {self.service_s} s)"
+            )
+
+
+@dataclass(frozen=True)
+class MD1Queue(_SingleServerQueue):
+    """M/D/1: Poisson arrivals, deterministic service, one server."""
+
+    arrival_rate_rps: float
+    service_s: float
+
+    def __post_init__(self) -> None:
+        self._check()
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Pollaczek–Khinchine mean wait for deterministic service."""
+        rho = self.utilization
+        return rho * self.service_s / (2.0 * (1.0 - rho))
+
+
+@dataclass(frozen=True)
+class MM1Queue(_SingleServerQueue):
+    """M/M/1: Poisson arrivals, exponential service, one server."""
+
+    arrival_rate_rps: float
+    service_s: float
+
+    def __post_init__(self) -> None:
+        self._check()
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Mean wait with exponential service — twice the M/D/1 wait."""
+        rho = self.utilization
+        return rho * self.service_s / (1.0 - rho)

@@ -9,12 +9,64 @@ import numpy as np
 
 __all__ = [
     "RunningStats",
+    "percentile",
     "summarize",
     "percentile_range",
     "geometric_mean",
     "relative_error",
     "kl_divergence",
 ]
+
+
+def percentile(
+    values: Iterable[float],
+    q: float | Sequence[float],
+    weights: Iterable[float] | None = None,
+) -> float | np.ndarray:
+    """Linearly interpolated percentile(s), optionally weighted.
+
+    Without ``weights`` this matches ``np.percentile(values, q)`` (linear
+    interpolation) exactly.  With ``weights`` each sorted value sits at the
+    normalised position ``before / (before + after)``, where ``before`` and
+    ``after`` are the total weight strictly below and above it — the
+    weighted generalisation of the ``i / (n - 1)`` plotting positions,
+    reducing to them for equal weights — and ``q`` is interpolated between
+    those positions.  The serving report uses this for tail latencies over
+    completed-request records (and for duration-weighted queue depths).
+
+    A scalar ``q`` returns a float, a sequence returns an array.
+    """
+    arr = np.asarray(list(values), dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    q_arr = np.atleast_1d(np.asarray(q, dtype=np.float64))
+    if np.any(q_arr < 0.0) or np.any(q_arr > 100.0):
+        raise ValueError(f"percentiles must lie in [0, 100], got {q}")
+    if weights is None:
+        result = np.percentile(arr, q_arr)
+    else:
+        w = np.asarray(list(weights), dtype=np.float64).ravel()
+        if w.shape != arr.shape:
+            raise ValueError(f"got {w.size} weights for {arr.size} values")
+        if np.any(w < 0.0) or w.sum() == 0.0:
+            raise ValueError("weights must be non-negative and not all zero")
+        order = np.argsort(arr, kind="stable")
+        ordered, w = arr[order], w[order]
+        # zero-weight values carry no mass and must not anchor the edges
+        mass = w > 0.0
+        ordered, w = ordered[mass], w[mass]
+        cum = np.cumsum(w)
+        before = cum - w
+        after = cum[-1] - cum
+        span = before + after  # total minus own weight
+        if np.any(span == 0.0):
+            # one value carries all the mass; every percentile is it
+            result = np.full_like(q_arr, ordered[int(np.argmax(span == 0.0))])
+        else:
+            result = np.interp(q_arr / 100.0, before / span, ordered)
+    if np.isscalar(q) or np.ndim(q) == 0:
+        return float(result[0])
+    return result
 
 
 @dataclass
@@ -65,19 +117,34 @@ class RunningStats:
         return self.maximum - self.minimum
 
 
-def summarize(values: Iterable[float]) -> dict[str, float]:
-    """Return a dictionary of common summary statistics for ``values``."""
+def summarize(
+    values: Iterable[float], weights: Iterable[float] | None = None
+) -> dict[str, float]:
+    """Return a dictionary of common summary statistics for ``values``.
+
+    ``weights`` (optional) makes the mean and the p50/p95/p99 tail
+    percentiles weighted — e.g. duration-weighted queue depths in the
+    serving report.
+    """
     arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
         raise ValueError("cannot summarise an empty sequence")
+    w = None if weights is None else list(weights)
+    p50, p95, p99 = percentile(arr, (50.0, 95.0, 99.0), weights=w)
+    if w is None:
+        mean = float(np.mean(arr))
+        std = float(np.std(arr))
+    else:
+        mean = float(np.average(arr, weights=w))
+        std = float(np.sqrt(np.average((arr - mean) ** 2, weights=w)))
     return {
         "count": float(arr.size),
-        "mean": float(np.mean(arr)),
-        "std": float(np.std(arr)),
+        "mean": mean,
+        "std": std,
         "min": float(np.min(arr)),
-        "p50": float(np.percentile(arr, 50)),
-        "p95": float(np.percentile(arr, 95)),
-        "p99": float(np.percentile(arr, 99)),
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
         "max": float(np.max(arr)),
     }
 

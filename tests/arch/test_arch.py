@@ -118,9 +118,18 @@ class TestSystemOverhead:
         model = DEFAULT_SYSTEM_OVERHEAD
         assert model.total_area_mm2(96) == pytest.approx(96 * model.overhead_area_mm2_per_tile)
 
-    def test_requires_positive_tiles(self):
+    def test_zero_tiles_costs_io_only(self):
+        # regression: a softmax-engine-only or idle-chip config used to be
+        # rejected; it should cost the once-per-chip IO power and no area
+        model = DEFAULT_SYSTEM_OVERHEAD
+        assert model.total_power_w(0) == pytest.approx(model.io_power_w)
+        assert model.total_area_mm2(0) == 0.0
+
+    def test_negative_tiles_rejected(self):
         with pytest.raises(ValueError):
-            DEFAULT_SYSTEM_OVERHEAD.total_power_w(0)
+            DEFAULT_SYSTEM_OVERHEAD.total_power_w(-1)
+        with pytest.raises(ValueError):
+            DEFAULT_SYSTEM_OVERHEAD.total_area_mm2(-1)
 
     def test_invalid_config(self):
         with pytest.raises(ValueError):

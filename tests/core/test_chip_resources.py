@@ -1,0 +1,116 @@
+"""Tests for ChipResources, whole-model executed schedules and request timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accelerator import ChipResources, STARAccelerator
+from repro.core.config import MatMulEngineConfig, STARConfig
+from repro.core.scheduler import StageJitter
+from repro.nn.bert import BertConfig, BertWorkload
+
+
+class TestChipResources:
+    def test_accelerator_delegates_to_resources(self):
+        star = STARAccelerator()
+        assert star.power_w(128) == pytest.approx(star.resources.power_w(128))
+        assert star.area_mm2() == pytest.approx(star.resources.area_mm2())
+        assert star.matmul_engine is star.resources.matmul_engine
+        assert star.softmax_engine is star.resources.softmax_engine
+
+    def test_shared_resources_between_accelerators(self):
+        resources = ChipResources(num_softmax_engines=16)
+        a = STARAccelerator(resources=resources)
+        b = STARAccelerator(resources=resources, schedule="executed")
+        assert a.matmul_engine is b.matmul_engine
+        assert a.num_softmax_engines == b.num_softmax_engines == 16
+
+    def test_conflicting_config_and_resources_rejected(self):
+        resources = ChipResources()
+        with pytest.raises(ValueError):
+            STARAccelerator(config=STARConfig(), resources=resources)
+
+    def test_conflicting_engines_or_overhead_with_resources_rejected(self):
+        from repro.arch.system import SystemOverheadModel
+
+        resources = ChipResources(num_softmax_engines=16)
+        with pytest.raises(ValueError):
+            STARAccelerator(num_softmax_engines=32, resources=resources)
+        with pytest.raises(ValueError):
+            STARAccelerator(system_overhead=SystemOverheadModel(), resources=resources)
+        # restating the resources' own values is not a conflict
+        star = STARAccelerator(num_softmax_engines=16, resources=resources)
+        assert star.num_softmax_engines == 16
+
+    def test_executor_matches_workload_allocation(self):
+        resources = ChipResources(STARConfig(matmul=MatMulEngineConfig(num_tiles=24)))
+        workload = BertWorkload(seq_len=128)
+        executor = resources.executor(workload)
+        assert executor.streams == resources.attention_streams(12, 1) == 12
+        assert executor.softmax_engines == resources.num_softmax_engines
+
+    def test_invalid_engine_count(self):
+        with pytest.raises(ValueError):
+            ChipResources(num_softmax_engines=0)
+
+
+class TestModelSchedule:
+    def test_matches_scaled_single_layer_without_jitter(self):
+        star = STARAccelerator(schedule="executed")
+        workload = BertWorkload(seq_len=128)
+        model = star.executed_model_schedule(workload)
+        layer = star.layer_latency_breakdown(workload)
+        assert model.num_layers == workload.config.num_layers
+        assert model.total_latency_s == pytest.approx(
+            workload.config.num_layers * layer.total_s, rel=1e-12
+        )
+        assert star.inference_latency_s(workload) == pytest.approx(
+            model.total_latency_s
+        )
+
+    def test_disabled_jitter_reuses_one_execution(self):
+        star = STARAccelerator(schedule="executed", jitter=StageJitter(sigma=0.0))
+        model = star.executed_model_schedule(BertWorkload(seq_len=32))
+        first = model.attention_schedules[0]
+        assert all(schedule is first for schedule in model.attention_schedules)
+
+    def test_jitter_gives_each_layer_its_own_stream(self):
+        config = BertConfig(num_layers=3)
+        star = STARAccelerator(schedule="executed", jitter=StageJitter(sigma=0.2, seed=9))
+        workload = BertWorkload(config=config, seq_len=32)
+        model = star.executed_model_schedule(workload)
+        latencies = [layer.attention_pipeline_s for layer in model.layers]
+        assert len(set(latencies)) == 3  # independent draws differ
+        assert model.total_latency_s == pytest.approx(
+            sum(layer.total_s for layer in model.layers)
+        )
+
+    def test_softmax_utilization_is_a_fraction(self):
+        star = STARAccelerator(schedule="executed")
+        model = star.executed_model_schedule(BertWorkload(seq_len=64))
+        assert 0.0 < model.softmax_utilization() <= 1.0
+        assert model.attention_latency_s < model.total_latency_s
+
+
+class TestRequestTiming:
+    def test_consistent_with_inference_latency_and_power(self):
+        star = STARAccelerator()
+        workload = BertWorkload(seq_len=128, batch_size=4)
+        timing = star.request_timing(workload)
+        assert timing.latency_s == pytest.approx(star.inference_latency_s(workload))
+        assert timing.energy_j == pytest.approx(
+            star.power_w(128) * timing.latency_s
+        )
+        assert timing.latency_per_request_s == pytest.approx(timing.latency_s / 4)
+        assert timing.energy_per_request_j == pytest.approx(timing.energy_j / 4)
+
+    def test_workload_request_helpers(self):
+        workload = BertWorkload(seq_len=128)
+        batched = workload.with_batch(8).with_seq_len(256)
+        assert batched.batch_size == 8 and batched.seq_len == 256
+        assert batched.config is workload.config
+        assert batched.ops_per_request() == pytest.approx(batched.total_ops() / 8)
+        # per-request op count is batch-invariant
+        assert batched.ops_per_request() == pytest.approx(
+            workload.with_seq_len(256).total_ops()
+        )

@@ -1,0 +1,110 @@
+"""Tests for arrival processes and the dynamic batching policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    DynamicBatcher,
+    NO_BATCHING,
+    PoissonArrivals,
+    Request,
+    TraceArrivals,
+)
+
+
+class TestRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Request(index=0, arrival_s=-1.0, seq_len=128)
+        with pytest.raises(ValueError):
+            Request(index=0, arrival_s=0.0, seq_len=0)
+
+
+class TestPoissonArrivals:
+    def test_reproducible_and_sorted(self):
+        process = PoissonArrivals(rate_rps=100.0, seq_len=128, seed=3)
+        a = process.generate(500)
+        b = process.generate(500)
+        assert a == b
+        times = [r.arrival_s for r in a]
+        assert times == sorted(times)
+        assert [r.index for r in a] == list(range(500))
+
+    def test_mean_rate_close_to_offered(self):
+        requests = PoissonArrivals(rate_rps=1000.0, seed=0).generate(20000)
+        span = requests[-1].arrival_s - requests[0].arrival_s
+        observed = (len(requests) - 1) / span
+        assert observed == pytest.approx(1000.0, rel=0.05)
+
+    def test_sequence_length_choices(self):
+        requests = PoissonArrivals(rate_rps=10.0, seq_len=(64, 256), seed=1).generate(400)
+        lens = {r.seq_len for r in requests}
+        assert lens == {64, 256}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate_rps=0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate_rps=10.0).generate(0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate_rps=10.0, seq_len=()).generate(5)
+
+
+class TestTraceArrivals:
+    def test_replays_trace(self):
+        trace = TraceArrivals([0.0, 0.5, 0.5, 2.0], seq_len=32)
+        requests = trace.generate()
+        assert [r.arrival_s for r in requests] == [0.0, 0.5, 0.5, 2.0]
+        assert all(r.seq_len == 32 for r in requests)
+
+    def test_truncation(self):
+        trace = TraceArrivals([0.0, 1.0, 2.0])
+        assert len(trace.generate(2)) == 2
+
+    def test_per_request_lens(self):
+        trace = TraceArrivals([0.0, 1.0], per_request_lens=[64, 256])
+        assert [r.seq_len for r in trace.generate()] == [64, 256]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceArrivals([])
+        with pytest.raises(ValueError):
+            TraceArrivals([1.0, 0.5])
+        with pytest.raises(ValueError):
+            TraceArrivals([-1.0, 0.5])
+        with pytest.raises(ValueError):
+            TraceArrivals([0.0, 1.0], per_request_lens=[128])
+
+
+class TestDynamicBatcher:
+    def test_full_batch_releases(self):
+        batcher = DynamicBatcher(max_batch_size=4, max_wait_s=10.0)
+        assert not batcher.ready(3, 0.0)
+        assert batcher.ready(4, 0.0)
+        assert batcher.ready(9, 0.0)
+
+    def test_timeout_releases_partial_batch(self):
+        batcher = DynamicBatcher(max_batch_size=4, max_wait_s=1.0)
+        assert not batcher.ready(2, 0.5)
+        assert batcher.ready(2, 1.0)
+
+    def test_empty_queue_never_ready(self):
+        assert not DynamicBatcher(1, 0.0).ready(0, 100.0)
+
+    def test_batch_of_caps_at_max(self):
+        batcher = DynamicBatcher(max_batch_size=4)
+        assert batcher.batch_of(2) == 2
+        assert batcher.batch_of(9) == 4
+
+    def test_no_batching_is_greedy_singles(self):
+        assert NO_BATCHING.max_batch_size == 1
+        assert NO_BATCHING.ready(1, 0.0)
+        assert NO_BATCHING.batch_of(5) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_batch_size=1, max_wait_s=-1.0)

@@ -9,8 +9,8 @@ from repro.experiments.__main__ import main as cli_main
 
 
 class TestRunner:
-    def test_all_nine_experiments_registered(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 10)}
+    def test_all_ten_experiments_registered(self):
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 11)}
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
@@ -32,6 +32,13 @@ class TestRunner:
         assert "GOPs/s/W" in report
         assert "paper 612.66" in report
 
+    def test_e10_report_contains_serving_metrics(self):
+        report = run_experiment("e10")
+        assert "Request-level serving" in report
+        assert "fleet capacity" in report
+        assert "M/D/1 check" in report
+        assert "p50" in report and "p99" in report
+
     def test_case_insensitive_ids(self):
         assert run_experiment("E2") == run_experiment("e2")
 
@@ -45,13 +52,19 @@ class TestCLI:
     def test_list_option(self, capsys):
         assert cli_main(["--list"]) == 0
         out = capsys.readouterr().out
-        assert "e1:" in out and "e9:" in out
+        assert "e1:" in out and "e9:" in out and "e10:" in out
 
     def test_single_experiment(self, capsys):
         assert cli_main(["e4"]) == 0
         out = capsys.readouterr().out
         assert "bit-width" in out.lower() or "bit" in out.lower()
 
-    def test_unknown_experiment_exits_with_error(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_experiment_exits_with_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             cli_main(["e99"])
+        assert excinfo.value.code == 2  # argparse usage error, not a traceback
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err and "e99" in err
+        assert "Traceback" not in err
+        # the KeyError's quoted repr must not leak into the message
+        assert '"unknown experiment' not in err
