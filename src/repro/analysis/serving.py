@@ -15,14 +15,20 @@ from dataclasses import dataclass
 
 from repro.serving.arrivals import PoissonArrivals
 from repro.serving.batcher import NO_BATCHING, DynamicBatcher
-from repro.serving.fleet import ChipFleet, ServiceModel, StarServiceModel
+from repro.serving.fleet import ChipFleet, LinearServiceModel, ServiceModel, StarServiceModel
 from repro.serving.report import ServingReport
 from repro.serving.simulator import ServingSimulator
 from repro.serving.theory import MD1Queue
 from repro.utils.stats import relative_error
 from repro.utils.validation import require_positive
 
-__all__ = ["ServingSweepRow", "MD1ValidationRow", "ServingAnalyzer"]
+__all__ = [
+    "ServingSweepRow",
+    "BatchAmortisationRow",
+    "BatchCapRow",
+    "MD1ValidationRow",
+    "ServingAnalyzer",
+]
 
 
 @dataclass(frozen=True)
@@ -36,6 +42,35 @@ class ServingSweepRow:
     @property
     def throughput_rps(self) -> float:
         """Sustained completion rate at this load."""
+        return self.report.throughput_rps
+
+
+@dataclass(frozen=True)
+class BatchAmortisationRow:
+    """Batch service time vs the linear ``batch x single`` price."""
+
+    batch_size: int
+    service_s: float
+    per_request_s: float
+    linear_s: float
+
+    @property
+    def amortisation(self) -> float:
+        """Batch service over the linear price (1.0 = no batching benefit)."""
+        return self.service_s / self.linear_s if self.linear_s > 0 else 1.0
+
+
+@dataclass(frozen=True)
+class BatchCapRow:
+    """One ``DynamicBatcher`` cap at a fixed offered load, for both pricings."""
+
+    max_batch_size: int
+    report: ServingReport
+    linear_report: ServingReport
+
+    @property
+    def throughput_rps(self) -> float:
+        """Sustained completion rate under batch-aware pricing."""
         return self.report.throughput_rps
 
 
@@ -86,7 +121,7 @@ class ServingAnalyzer:
     ) -> None:
         require_positive(num_chips, "num_chips")
         require_positive(num_requests, "num_requests")
-        self.service_model = service_model or StarServiceModel()
+        self.service_model = service_model or StarServiceModel(seq_len=seq_len)
         self.num_chips = num_chips
         self.batcher = batcher
         self.seq_len = seq_len
@@ -120,6 +155,71 @@ class ServingAnalyzer:
         return [self.row_for(factor) for factor in load_factors]
 
     # ------------------------------------------------------------------ #
+    # batch amortisation
+    # ------------------------------------------------------------------ #
+    def amortisation_rows(
+        self, batch_sizes: tuple[int, ...] = (1, 4, 16, 32)
+    ) -> list[BatchAmortisationRow]:
+        """Batch service times against the linear ``batch x single`` price.
+
+        Under batch-aware pricing a dispatched batch programs each
+        stationary operand once and double-buffers rows beyond the first
+        request, so the ratio falls below 1 as the batch grows; the legacy
+        linear model would sit at exactly 1.0 everywhere.
+        """
+        single = self.service_model.batch_latency_s(1, self.seq_len)
+        rows = []
+        for batch in batch_sizes:
+            require_positive(batch, "batch size")
+            service = self.service_model.batch_latency_s(batch, self.seq_len)
+            rows.append(
+                BatchAmortisationRow(
+                    batch_size=batch,
+                    service_s=service,
+                    per_request_s=service / batch,
+                    linear_s=batch * single,
+                )
+            )
+        return rows
+
+    def batch_cap_rows(
+        self,
+        caps: tuple[int, ...] = (1, 8, 32),
+        load_factor: float = 0.8,
+    ) -> list[BatchCapRow]:
+        """Raise the ``DynamicBatcher`` cap at one fixed offered load.
+
+        The offered rate is ``load_factor`` of the *batch-32 amortised*
+        fleet capacity — a load the unbatched fleet cannot sustain — and
+        every cap is simulated twice: once on the batch-aware service
+        model and once on its :class:`~repro.serving.fleet.LinearServiceModel`
+        wrapper, so the table shows what amortised pricing buys at equal
+        hardware and equal traffic.
+        """
+        require_positive(load_factor, "load_factor")
+        amortised_capacity = self.num_chips * 32 / self.service_model.batch_latency_s(
+            32, self.seq_len
+        )
+        rate = load_factor * amortised_capacity
+        arrivals = PoissonArrivals(rate, seq_len=self.seq_len, seed=self.seed)
+        requests = arrivals.generate(self.num_requests)
+        rows = []
+        for cap in caps:
+            require_positive(cap, "batcher cap")
+            batcher = DynamicBatcher(max_batch_size=cap, max_wait_s=self.batcher.max_wait_s)
+            report = ServingSimulator(
+                ChipFleet(self.service_model, num_chips=self.num_chips), batcher
+            ).run(requests)
+            linear_report = ServingSimulator(
+                ChipFleet(LinearServiceModel(self.service_model), num_chips=self.num_chips),
+                batcher,
+            ).run(requests)
+            rows.append(
+                BatchCapRow(max_batch_size=cap, report=report, linear_report=linear_report)
+            )
+        return rows
+
+    # ------------------------------------------------------------------ #
     # M/D/1 cross-validation
     # ------------------------------------------------------------------ #
     def md1_validation(
@@ -142,6 +242,41 @@ class ServingAnalyzer:
     # ------------------------------------------------------------------ #
     # presentation
     # ------------------------------------------------------------------ #
+    def format_amortisation_table(
+        self, batch_sizes: tuple[int, ...] = (1, 4, 16, 32)
+    ) -> str:
+        """Printable batch-amortisation table."""
+        lines = [
+            f"{'batch':>6} {'service (ms)':>13} {'per-req (ms)':>13} "
+            f"{'linear (ms)':>12} {'x linear':>9}"
+        ]
+        for row in self.amortisation_rows(batch_sizes):
+            lines.append(
+                f"{row.batch_size:>6d} {row.service_s * 1e3:>13.3f} "
+                f"{row.per_request_s * 1e3:>13.3f} {row.linear_s * 1e3:>12.3f} "
+                f"{row.amortisation:>9.3f}"
+            )
+        return "\n".join(lines)
+
+    def format_cap_table(
+        self, caps: tuple[int, ...] = (1, 8, 32), load_factor: float = 0.8
+    ) -> str:
+        """Printable batcher-cap sweep: batch-aware vs linear pricing."""
+        lines = [
+            f"{'cap':>5} {'served (r/s)':>13} {'p99 (ms)':>9} {'batch':>6} "
+            f"{'util':>6} {'mJ/query':>9} | {'linear r/s':>11} {'linear p99':>11}"
+        ]
+        for row in self.batch_cap_rows(caps, load_factor):
+            report, linear = row.report, row.linear_report
+            lines.append(
+                f"{row.max_batch_size:>5d} {report.throughput_rps:>13.1f} "
+                f"{report.p99_latency_s * 1e3:>9.2f} {report.mean_batch_size:>6.2f} "
+                f"{report.mean_utilization * 100:>5.1f}% "
+                f"{report.energy_per_query_j * 1e3:>9.2f} | "
+                f"{linear.throughput_rps:>11.1f} {linear.p99_latency_s * 1e3:>11.2f}"
+            )
+        return "\n".join(lines)
+
     def format_table(self, load_factors: tuple[float, ...] = (0.3, 0.6, 0.9)) -> str:
         """Printable sweep table plus the M/D/1 validation line."""
         lines = [

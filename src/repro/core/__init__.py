@@ -8,6 +8,13 @@ from repro.core.accelerator import (
     STARAccelerator,
 )
 from repro.core.access_stats import AccessStats
+from repro.core.batch_cost import (
+    BatchCostModel,
+    BatchGEMMCost,
+    BatchGEMMExecutor,
+    DEFAULT_BATCH_COST,
+    ExecutedGEMMSchedule,
+)
 from repro.core.cam_sub import CamSubBatchResult, CamSubCrossbar, CamSubResult
 from repro.core.config import (
     MatMulEngineConfig,
@@ -50,6 +57,11 @@ __all__ = [
     "MatMulEngine",
     "GEMMShape",
     "ProgrammedOperand",
+    "BatchCostModel",
+    "BatchGEMMCost",
+    "BatchGEMMExecutor",
+    "DEFAULT_BATCH_COST",
+    "ExecutedGEMMSchedule",
     "AttentionPipeline",
     "StageTiming",
     "PipelineSchedule",

@@ -29,13 +29,14 @@ from dataclasses import dataclass, replace
 
 from repro.arch.report import CostReport
 from repro.arch.system import DEFAULT_SYSTEM_OVERHEAD, SystemOverheadModel
+from repro.core.batch_cost import BatchCostModel, BatchGEMMExecutor, DEFAULT_BATCH_COST
 from repro.core.config import STARConfig
 from repro.core.matmul_engine import GEMMShape, MatMulEngine
 from repro.core.pipeline import AttentionPipeline, PipelineSchedule, StageTiming, attention_streams
 from repro.core.scheduler import ExecutedSchedule, PipelineExecutor, StageJitter
 from repro.core.softmax_engine import RRAMSoftmaxEngine
 from repro.nn.bert import BertWorkload
-from repro.utils.validation import require_positive
+from repro.utils.validation import require_non_negative, require_positive
 
 __all__ = [
     "ChipResources",
@@ -66,13 +67,20 @@ class ChipResources:
         config: STARConfig | None = None,
         num_softmax_engines: int = 64,
         system_overhead: SystemOverheadModel = DEFAULT_SYSTEM_OVERHEAD,
+        idle_power_fraction: float = 0.1,
     ) -> None:
         require_positive(num_softmax_engines, "num_softmax_engines")
+        require_non_negative(idle_power_fraction, "idle_power_fraction")
+        if idle_power_fraction > 1.0:
+            raise ValueError(
+                f"idle_power_fraction must lie in [0, 1], got {idle_power_fraction}"
+            )
         self.config = config or STARConfig()
         self.matmul_engine = MatMulEngine(self.config.matmul)
         self.softmax_engine = RRAMSoftmaxEngine(self.config.softmax)
         self.num_softmax_engines = num_softmax_engines
         self.system_overhead = system_overhead
+        self.idle_power_fraction = idle_power_fraction
 
     @property
     def num_tiles(self) -> int:
@@ -84,12 +92,22 @@ class ChipResources:
         return attention_streams(num_heads, batch_size, self.num_tiles)
 
     def executor(
-        self, workload: BertWorkload, jitter: StageJitter | None = None
+        self,
+        workload: BertWorkload,
+        jitter: StageJitter | None = None,
+        streams: int | None = None,
     ) -> PipelineExecutor:
-        """An event-driven executor occupying this chip's resources."""
+        """An event-driven executor occupying this chip's resources.
+
+        ``streams`` overrides the tile-budget allocation (the accelerator
+        passes its batch-cost model's stream count so analytical and
+        executed schedules agree on the parallelism they price).
+        """
+        if streams is None:
+            streams = self.attention_streams(workload.config.num_heads, workload.batch_size)
         return PipelineExecutor(
             self.config.pipeline,
-            streams=self.attention_streams(workload.config.num_heads, workload.batch_size),
+            streams=streams,
             softmax_engines=self.num_softmax_engines,
             jitter=jitter,
         )
@@ -101,6 +119,16 @@ class ChipResources:
         overhead = self.system_overhead.total_power_w(self.num_tiles)
         return tiles + softmax + overhead
 
+    def idle_power_w(self, seq_len: int = 128) -> float:
+        """Leakage / standby power of the chip while no batch occupies it.
+
+        Modelled as a fraction of the active power — peripheral bias
+        currents, eDRAM refresh and clocking do not stop when the tiles
+        do.  The serving report charges this over each chip's idle time so
+        low-load energy-per-query figures stay honest.
+        """
+        return self.idle_power_fraction * self.power_w(seq_len)
+
     def area_mm2(self) -> float:
         """Total chip area."""
         tiles = self.matmul_engine.area_mm2()
@@ -111,17 +139,23 @@ class ChipResources:
 
 @dataclass(frozen=True)
 class LayerLatencyBreakdown:
-    """Latency components of one encoder layer on the accelerator."""
+    """Latency components of one encoder layer on the accelerator.
+
+    ``programming_s`` is the one-time-per-batch weight-operand programming
+    of the layer's GEMMs; it is zero under the default ``"resident"``
+    weight policy and amortises across the batch under ``"streamed"``.
+    """
 
     projection_s: float
     attention_pipeline_s: float
     ffn_s: float
     softmax_only_s: float
+    programming_s: float = 0.0
 
     @property
     def total_s(self) -> float:
         """Total latency of the layer."""
-        return self.projection_s + self.attention_pipeline_s + self.ffn_s
+        return self.programming_s + self.projection_s + self.attention_pipeline_s + self.ffn_s
 
     @property
     def softmax_share(self) -> float:
@@ -206,6 +240,16 @@ class STARAccelerator:
     as ``resources`` to share or replicate a provisioned chip (the serving
     fleet does this), or let the constructor build one from ``config`` /
     ``num_softmax_engines`` / ``system_overhead``.
+
+    ``batch_cost`` selects the :class:`~repro.core.batch_cost.BatchCostModel`
+    pricing a batched inference: the default keeps ``batch_size = 1``
+    bit-identical to the pre-batching model while double-buffering rows of
+    later requests; :meth:`BatchCostModel.streamed
+    <repro.core.batch_cost.BatchCostModel.streamed>` additionally charges
+    (and amortises) per-batch operand programming, and
+    :meth:`BatchCostModel.legacy
+    <repro.core.batch_cost.BatchCostModel.legacy>` reproduces the old
+    strictly linear pricing.
     """
 
     name = "STAR"
@@ -218,6 +262,7 @@ class STARAccelerator:
         schedule: str = "analytical",
         jitter: StageJitter | None = None,
         resources: ChipResources | None = None,
+        batch_cost: BatchCostModel | None = None,
     ) -> None:
         if schedule not in SCHEDULES:
             raise ValueError(f"schedule must be one of {SCHEDULES}, got {schedule!r}")
@@ -249,22 +294,46 @@ class STARAccelerator:
         self.schedule = schedule
         self.jitter = jitter
         self.system_overhead = resources.system_overhead
+        self.batch_cost = batch_cost or DEFAULT_BATCH_COST
 
     # ------------------------------------------------------------------ #
     # latency
     # ------------------------------------------------------------------ #
+    def _gemm_streaming_s(self, workload: BertWorkload, shape: GEMMShape) -> float:
+        """Row-streaming latency of one per-request GEMM across the batch."""
+        return self.matmul_engine.gemm_streaming_latency_s(
+            shape, batch_size=workload.batch_size, cost_model=self.batch_cost
+        )
+
     def _projection_latency_s(self, workload: BertWorkload) -> float:
-        cfg = workload.config
-        tokens = workload.batch_size * workload.seq_len
-        qkv_and_output = GEMMShape(m=tokens, k=cfg.hidden, n=cfg.hidden)
-        return 4 * self.matmul_engine.gemm_latency_s(qkv_and_output)
+        return 4 * self._gemm_streaming_s(workload, workload.projection_shape())
 
     def _ffn_latency_s(self, workload: BertWorkload) -> float:
-        cfg = workload.config
-        tokens = workload.batch_size * workload.seq_len
-        up = GEMMShape(m=tokens, k=cfg.hidden, n=cfg.intermediate)
-        down = GEMMShape(m=tokens, k=cfg.intermediate, n=cfg.hidden)
-        return self.matmul_engine.gemm_latency_s(up) + self.matmul_engine.gemm_latency_s(down)
+        return self._gemm_streaming_s(workload, workload.ffn_up_shape()) + self._gemm_streaming_s(
+            workload, workload.ffn_down_shape()
+        )
+
+    def _programming_latency_s(self, workload: BertWorkload) -> float:
+        """One-time weight-operand programming of one layer's GEMMs.
+
+        Zero under the ``"resident"`` weight policy; under ``"streamed"``
+        each stationary operand is written once per dispatched batch and
+        the cost amortises across the batch's requests.
+        """
+        if not self.batch_cost.charges_programming:
+            return 0.0
+        engine = self.matmul_engine
+        return sum(
+            engine.programming_latency_s(shape)
+            for shape in workload.weight_operand_shapes_per_layer()
+        )
+
+    def _attention_streams(self, workload: BertWorkload) -> int:
+        """Concurrent head-streams under the configured batch-cost model."""
+        batch = workload.batch_size if self.batch_cost.inter_request_parallelism else 1
+        return attention_streams(
+            workload.config.num_heads, batch, self.config.matmul.num_tiles
+        )
 
     def attention_stage_timing(self, workload: BertWorkload) -> StageTiming:
         """Per-row stage timings of the attention pipeline for one layer.
@@ -275,9 +344,7 @@ class STARAccelerator:
         *aggregate* row intervals the pipeline model consumes.
         """
         native = self.native_attention_stage_timing(workload)
-        streams = attention_streams(
-            workload.config.num_heads, workload.batch_size, self.config.matmul.num_tiles
-        )
+        streams = self._attention_streams(workload)
         return StageTiming(
             score_row_s=native.score_row_s / streams,
             softmax_row_s=native.softmax_row_s / self.num_softmax_engines,
@@ -296,12 +363,10 @@ class STARAccelerator:
         """
         cfg = workload.config
         seq_len = workload.seq_len
-        score_shape = GEMMShape(m=1, k=cfg.head_dim, n=seq_len)
-        context_shape = GEMMShape(m=1, k=seq_len, n=cfg.head_dim)
         return StageTiming(
-            score_row_s=self.matmul_engine.row_latency_s(score_shape),
+            score_row_s=self.matmul_engine.row_latency_s(workload.attention_score_row_shape()),
             softmax_row_s=self.softmax_engine.row_latency_s(seq_len),
-            context_row_s=self.matmul_engine.row_latency_s(context_shape),
+            context_row_s=self.matmul_engine.row_latency_s(workload.attention_context_row_shape()),
             num_rows=workload.batch_size * cfg.num_heads * seq_len,
         )
 
@@ -314,7 +379,11 @@ class STARAccelerator:
         executor (used by :meth:`executed_model_schedule` to give every
         encoder layer an independent jitter stream).
         """
-        return self.resources.executor(workload, jitter=jitter or self.jitter)
+        return self.resources.executor(
+            workload,
+            jitter=jitter or self.jitter,
+            streams=self._attention_streams(workload),
+        )
 
     def executed_attention_schedule(
         self, workload: BertWorkload, granularity: str | None = None
@@ -352,7 +421,21 @@ class STARAccelerator:
             attention_pipeline_s=schedule.total_latency_s,
             ffn_s=self._ffn_latency_s(workload),
             softmax_only_s=softmax_only,
+            programming_s=self._programming_latency_s(workload),
         )
+
+    def executed_gemm_schedule(self, workload: BertWorkload, shape: GEMMShape):
+        """Event-driven execution of one per-request GEMM across the batch.
+
+        Every tile-level VMM task is dispatched to the first free tile of
+        the bank (:class:`~repro.core.batch_cost.BatchGEMMExecutor`); the
+        measured makespan cross-validates
+        :meth:`~repro.core.matmul_engine.MatMulEngine.gemm_streaming_latency_s`
+        — exact when the task count divides the tile parallelism, within a
+        wave otherwise.
+        """
+        executor = BatchGEMMExecutor(self.matmul_engine, self.batch_cost)
+        return executor.execute(shape, batch_size=workload.batch_size)
 
     def executed_model_schedule(self, workload: BertWorkload) -> ModelSchedule:
         """Execute the attention chain of **every** encoder layer.
@@ -364,11 +447,24 @@ class STARAccelerator:
         with jitter each layer draws an independent per-row stream
         (``seed + layer``), which is exactly the variation the one-stage
         model cannot express.
+
+        The projection and FFN GEMMs are executed too: their batched row
+        streams run through the event-driven
+        :class:`~repro.core.batch_cost.BatchGEMMExecutor` over the tile
+        bank, so the whole-model batch price is *measured* rather than
+        taken from the closed forms (at batch 1 the two coincide exactly —
+        equal task durations over the bank complete in full waves).
         """
         native = self.native_attention_stage_timing(workload)
         timing = self.attention_stage_timing(workload)
-        projection_s = self._projection_latency_s(workload)
-        ffn_s = self._ffn_latency_s(workload)
+        projection_s = 4 * self.executed_gemm_schedule(
+            workload, workload.projection_shape()
+        ).streaming_makespan_s
+        ffn_s = (
+            self.executed_gemm_schedule(workload, workload.ffn_up_shape()).streaming_makespan_s
+            + self.executed_gemm_schedule(workload, workload.ffn_down_shape()).streaming_makespan_s
+        )
+        programming_s = self._programming_latency_s(workload)
         softmax_only = timing.softmax_row_s * timing.num_rows
 
         schedules: list[ExecutedSchedule] = []
@@ -388,6 +484,7 @@ class STARAccelerator:
                 attention_pipeline_s=schedule.total_latency_s,
                 ffn_s=ffn_s,
                 softmax_only_s=softmax_only,
+                programming_s=programming_s,
             )
             for schedule in schedules
         )
@@ -400,15 +497,47 @@ class STARAccelerator:
         layer = self.layer_latency_breakdown(workload)
         return workload.config.num_layers * layer.total_s
 
+    def _energy_reference_latency_s(self, workload: BertWorkload) -> float:
+        """Serialized-equivalent active time the chip's converters run.
+
+        Double-buffering shortens a batch's wall clock by hiding input
+        staging under the shared-ADC readout, but it removes no DAC/ADC
+        conversions and no cell reads — so energy is charged at the
+        serialized streaming rate (the same closed forms with the
+        double-buffering lever off), keeping the engine-level invariant
+        that only operand programming amortises across a batch.  At batch
+        1 the two rates coincide and energy stays ``power * latency``
+        bit-identically.
+        """
+        model = self.batch_cost
+        if model.double_buffering:
+            model = replace(model, double_buffering=False)
+        engine = self.matmul_engine
+        batch = workload.batch_size
+        projection = 4 * engine.gemm_streaming_latency_s(
+            workload.projection_shape(), batch_size=batch, cost_model=model
+        )
+        ffn = engine.gemm_streaming_latency_s(
+            workload.ffn_up_shape(), batch_size=batch, cost_model=model
+        ) + engine.gemm_streaming_latency_s(
+            workload.ffn_down_shape(), batch_size=batch, cost_model=model
+        )
+        attention = self.pipeline.latency(self.attention_stage_timing(workload)).total_latency_s
+        programming = self._programming_latency_s(workload)
+        return workload.config.num_layers * (programming + projection + attention + ffn)
+
     def request_timing(self, workload: BertWorkload) -> RequestTiming:
         """Service time and active energy of one batched inference request.
 
         The serving simulator charges a chip with exactly this quantity
-        when it dispatches a batch: the chip is occupied for ``latency_s``
-        and spends ``power_w * latency_s`` joules doing it.
+        when it dispatches a batch: the chip is occupied for ``latency_s``,
+        while ``energy_j`` is ``power_w`` over the *serialized-equivalent*
+        active time (:meth:`_energy_reference_latency_s`) — batching
+        amortises the one-time programming energy but never the per-row
+        conversion energy that double-buffering merely overlaps.
         """
         latency = self.inference_latency_s(workload)
-        energy = self.power_w(workload.seq_len) * latency
+        energy = self.power_w(workload.seq_len) * self._energy_reference_latency_s(workload)
         return RequestTiming(
             batch_size=workload.batch_size,
             seq_len=workload.seq_len,

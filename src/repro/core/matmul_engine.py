@@ -32,15 +32,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.arch.area import CrossbarAreaModel
+from repro.core.batch_cost import DEFAULT_BATCH_COST
 from repro.core.config import MatMulEngineConfig
 from repro.rram.converters import ADC, DAC
 from repro.rram.crossbar import AnalogCrossbar, CrossbarAccessStats, CrossbarConfig
 from repro.rram.device import RRAMDeviceConfig
 from repro.utils.validation import require_positive
+
+if TYPE_CHECKING:
+    from repro.core.batch_cost import BatchCostModel, BatchGEMMCost
 
 __all__ = ["GEMMShape", "ProgrammedOperand", "MatMulEngine"]
 
@@ -274,8 +279,19 @@ class MatMulEngine:
     # per-tile costs
     # ------------------------------------------------------------------ #
     def tile_vmm_latency_s(self) -> float:
-        """Latency of one tile VMM (all bit-serial input cycles)."""
+        """Latency of one tile VMM (all bit-serial input cycles, serialized)."""
         return self._reference_tile.vmm_latency_s()
+
+    def tile_vmm_overlapped_latency_s(self) -> float:
+        """Steady-state tile VMM latency with double-buffered input staging.
+
+        The DAC drive / settle / S&H portion of each bit-serial cycle hides
+        under the previous cycle's shared-ADC readout
+        (:meth:`~repro.rram.crossbar.AnalogCrossbar.overlapped_vmm_latency_s`);
+        the batch cost model charges this rate for rows whose inputs are
+        already buffered — rows of requests beyond the first in a batch.
+        """
+        return self._reference_tile.overlapped_vmm_latency_s()
 
     def tile_vmm_energy_j(self) -> float:
         """Energy of one tile VMM."""
@@ -326,8 +342,8 @@ class MatMulEngine:
         """Number of tile VMM activations needed for one GEMM."""
         return self._tiles_for(shape) * shape.m
 
-    def gemm_latency_s(self, shape: GEMMShape, tiles_available: int | None = None) -> float:
-        """Latency of one GEMM with ``tiles_available`` tiles working in parallel.
+    def gemm_parallel_tiles(self, shape: GEMMShape, tiles_available: int | None = None) -> int:
+        """Tiles working the GEMM in parallel.
 
         With ``allow_duplication`` the stationary operand is replicated
         across otherwise-idle tiles so different input rows proceed in
@@ -336,17 +352,114 @@ class MatMulEngine:
         """
         tiles = tiles_available if tiles_available is not None else self.config.num_tiles
         require_positive(tiles, "tiles_available")
-        total_vmms = self.gemm_tile_vmms(shape)
         if self.config.allow_duplication:
-            parallel = tiles
-        else:
-            parallel = min(tiles, self._tiles_for(shape))
-        waves = math.ceil(total_vmms / parallel)
-        return waves * self.tile_vmm_latency_s()
+            return tiles
+        return min(tiles, self._tiles_for(shape))
 
-    def gemm_energy_j(self, shape: GEMMShape) -> float:
-        """Energy of one GEMM."""
-        return self.gemm_tile_vmms(shape) * self.tile_vmm_energy_j()
+    def gemm_streaming_latency_s(
+        self,
+        shape: GEMMShape,
+        batch_size: int = 1,
+        cost_model: "BatchCostModel | None" = None,
+        tiles_available: int | None = None,
+    ) -> float:
+        """Latency of streaming ``batch_size * shape.m`` rows through the bank.
+
+        The per-request ``shape`` streams its rows once per batched request
+        through one programmed operand.  The first request's row waves are
+        charged the serialized tile-VMM latency — keeping ``batch_size = 1``
+        bit-identical to the pre-batching formula — and, when the cost
+        model double-buffers, every later request's waves stream at the
+        overlapped rate (its rows are independent of the row in flight, so
+        input staging hides under the previous readout).
+        """
+        require_positive(batch_size, "batch_size")
+        model = cost_model or DEFAULT_BATCH_COST
+        parallel = self.gemm_parallel_tiles(shape, tiles_available)
+        vmms_per_request = self.gemm_tile_vmms(shape)
+        first_waves = math.ceil(vmms_per_request / parallel)
+        total_waves = math.ceil(vmms_per_request * batch_size / parallel)
+        full = self.tile_vmm_latency_s()
+        if not model.double_buffering:
+            return total_waves * full
+        return first_waves * full + (total_waves - first_waves) * self.tile_vmm_overlapped_latency_s()
+
+    def gemm_latency_s(
+        self,
+        shape: GEMMShape,
+        tiles_available: int | None = None,
+        batch_size: int = 1,
+        cost_model: "BatchCostModel | None" = None,
+    ) -> float:
+        """Latency of one batched GEMM (operand programming + row streaming).
+
+        With the default :data:`~repro.core.batch_cost.DEFAULT_BATCH_COST`
+        and ``batch_size = 1`` this is exactly the pre-batching price:
+        resident weights charge no programming and a single request streams
+        entirely at the serialized rate.  Larger batches amortise whatever
+        the cost model lets them (see :meth:`gemm_batch_cost` for the
+        split).
+        """
+        model = cost_model or DEFAULT_BATCH_COST
+        programming = self.programming_latency_s(shape) if model.charges_programming else 0.0
+        return programming + self.gemm_streaming_latency_s(
+            shape, batch_size=batch_size, cost_model=model, tiles_available=tiles_available
+        )
+
+    def gemm_energy_j(
+        self,
+        shape: GEMMShape,
+        batch_size: int = 1,
+        cost_model: "BatchCostModel | None" = None,
+    ) -> float:
+        """Energy of one batched GEMM.
+
+        Streaming energy is strictly per-row (overlap removes idle time,
+        not conversions), so it scales with ``batch_size``; programming
+        energy — when the cost model charges it — is paid exactly once per
+        operand per batch.
+        """
+        require_positive(batch_size, "batch_size")
+        model = cost_model or DEFAULT_BATCH_COST
+        streaming = batch_size * self.gemm_tile_vmms(shape) * self.tile_vmm_energy_j()
+        programming = self.programming_energy_j(shape) if model.charges_programming else 0.0
+        return programming + streaming
+
+    def gemm_batch_cost(
+        self,
+        shape: GEMMShape,
+        batch_size: int = 1,
+        cost_model: "BatchCostModel | None" = None,
+        tiles_available: int | None = None,
+    ) -> "BatchGEMMCost":
+        """The full one-time vs per-row price split of one batched GEMM."""
+        from repro.core.batch_cost import BatchGEMMCost
+
+        require_positive(batch_size, "batch_size")
+        model = cost_model or DEFAULT_BATCH_COST
+        programming_latency = (
+            self.programming_latency_s(shape) if model.charges_programming else 0.0
+        )
+        programming_energy = (
+            self.programming_energy_j(shape) if model.charges_programming else 0.0
+        )
+        streaming_latency = self.gemm_streaming_latency_s(
+            shape, batch_size=batch_size, cost_model=model, tiles_available=tiles_available
+        )
+        single_streaming = self.gemm_streaming_latency_s(
+            shape, batch_size=1, cost_model=model, tiles_available=tiles_available
+        )
+        per_request_energy = self.gemm_tile_vmms(shape) * self.tile_vmm_energy_j()
+        return BatchGEMMCost(
+            shape=shape,
+            batch_size=batch_size,
+            programming_latency_s=programming_latency,
+            programming_energy_j=programming_energy,
+            streaming_latency_s=streaming_latency,
+            streaming_energy_j=batch_size * per_request_energy,
+            single_latency_s=programming_latency + single_streaming,
+            single_energy_j=programming_energy + per_request_energy,
+        )
 
     def row_latency_s(self, shape: GEMMShape) -> float:
         """Latency of producing one output row of a GEMM (pipeline granule).

@@ -27,6 +27,7 @@ from repro.nn.encoder import TransformerEncoder
 from repro.nn.layers import Embedding
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.core.matmul_engine import GEMMShape
     from repro.core.scheduler import AttentionExecutor, ExecutedSchedule
 
 __all__ = ["BertConfig", "BERT_BASE", "BertEncoderModel", "BertWorkload"]
@@ -156,6 +157,61 @@ class BertWorkload:
     def ops_per_request(self) -> float:
         """Primitive operations attributable to one request of the batch."""
         return self.total_ops() / self.batch_size
+
+    # ------------------------------------------------------------------ #
+    # per-request GEMM shapes (batch-aware accelerator pricing)
+    # ------------------------------------------------------------------ #
+    def projection_shape(self) -> "GEMMShape":
+        """One Q/K/V/output projection GEMM of a single request."""
+        from repro.core.matmul_engine import GEMMShape
+
+        cfg = self.config
+        return GEMMShape(m=self.seq_len, k=cfg.hidden, n=cfg.hidden)
+
+    def ffn_up_shape(self) -> "GEMMShape":
+        """The position-wise FFN up-projection GEMM of a single request."""
+        from repro.core.matmul_engine import GEMMShape
+
+        cfg = self.config
+        return GEMMShape(m=self.seq_len, k=cfg.hidden, n=cfg.intermediate)
+
+    def ffn_down_shape(self) -> "GEMMShape":
+        """The position-wise FFN down-projection GEMM of a single request."""
+        from repro.core.matmul_engine import GEMMShape
+
+        cfg = self.config
+        return GEMMShape(m=self.seq_len, k=cfg.intermediate, n=cfg.hidden)
+
+    def attention_score_row_shape(self) -> "GEMMShape":
+        """One row of one head's ``Q K^T`` product (the pipeline granule)."""
+        from repro.core.matmul_engine import GEMMShape
+
+        return GEMMShape(m=1, k=self.config.head_dim, n=self.seq_len)
+
+    def attention_context_row_shape(self) -> "GEMMShape":
+        """One row of one head's ``A V`` product (the pipeline granule)."""
+        from repro.core.matmul_engine import GEMMShape
+
+        return GEMMShape(m=1, k=self.seq_len, n=self.config.head_dim)
+
+    def weight_operand_shapes_per_layer(self) -> "tuple[GEMMShape, ...]":
+        """The stationary weight operands one encoder layer programs.
+
+        Four ``hidden x hidden`` projections plus the two FFN matrices —
+        the operands a time-multiplexed tile bank writes once per
+        dispatched batch (the ``"streamed"`` weight policy of
+        :class:`~repro.core.batch_cost.BatchCostModel`).  Attention's
+        dynamic ``K^T`` / ``V`` operands are not in this list: STAR, like
+        ReTransformer, avoids rewriting them through matrix decomposition.
+        """
+        return (
+            self.projection_shape(),
+            self.projection_shape(),
+            self.projection_shape(),
+            self.projection_shape(),
+            self.ffn_up_shape(),
+            self.ffn_down_shape(),
+        )
 
     # ------------------------------------------------------------------ #
     # per-component counts (single layer)

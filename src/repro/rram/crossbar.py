@@ -616,16 +616,40 @@ class AnalogCrossbar:
     # ------------------------------------------------------------------ #
     # per-access costs (aggregated by repro.arch)
     # ------------------------------------------------------------------ #
+    def cycle_input_stage_s(self) -> float:
+        """Input portion of one bit-serial cycle: DAC drive + settle + S&H sampling.
+
+        This is the part of a cycle that a *double-buffered* activation
+        buffer can hide: while the shared ADCs read out the sampled currents
+        of cycle ``i``, the wordline DACs already drive cycle ``i + 1`` and a
+        second sample-and-hold bank captures its bitline currents.
+        """
+        return self.dac.latency_s + self.device.read_latency_s() + self.sample_hold.latency_s
+
+    def cycle_readout_s(self) -> float:
+        """Readout portion of one bit-serial cycle: the column-muxed ADC scans."""
+        return self.adc.latency_s * self.config.adc_share  # columns muxed onto shared ADCs
+
     def cycle_latency_s(self) -> float:
-        """Latency of one bit-serial cycle: DAC drive + settle + muxed ADC."""
-        cfg = self.config
-        array_settle = self.device.read_latency_s()
-        adc_time = self.adc.latency_s * cfg.adc_share  # columns muxed onto shared ADCs
-        return self.dac.latency_s + array_settle + self.sample_hold.latency_s + adc_time
+        """Latency of one serialized bit-serial cycle: DAC drive + settle + muxed ADC."""
+        return self.cycle_input_stage_s() + self.cycle_readout_s()
+
+    def overlapped_cycle_latency_s(self) -> float:
+        """Steady-state cycle latency with double-buffered inputs.
+
+        With two S&H banks the input stage of the next cycle overlaps the
+        ADC readout of the current one, so the steady-state cycle interval
+        is whichever stage is slower — never more than the serialized cycle.
+        """
+        return max(self.cycle_input_stage_s(), self.cycle_readout_s())
 
     def vmm_latency_s(self) -> float:
-        """Latency of one full VMM (all bit-serial input cycles)."""
+        """Latency of one full VMM (all bit-serial input cycles, serialized)."""
         return self.cycle_latency_s() * self.config.input_cycles
+
+    def overlapped_vmm_latency_s(self) -> float:
+        """Steady-state latency of one VMM whose input staging is double-buffered."""
+        return self.overlapped_cycle_latency_s() * self.config.input_cycles
 
     def cycle_energy_j(self) -> float:
         """Energy of one bit-serial cycle (array + DACs + ADCs + S&H)."""

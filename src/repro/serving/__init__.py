@@ -9,8 +9,9 @@ layers on the shared discrete-event core (:mod:`repro.core.events`):
   request streams;
 * :mod:`~repro.serving.batcher` — the max-size + timeout dynamic batcher;
 * :mod:`~repro.serving.fleet` — single- and multi-chip fleets priced by a
-  service model (the STAR accelerator's whole-model request timing, or a
-  fixed-service stand-in for theory checks);
+  service model (the STAR accelerator's batch-aware whole-model request
+  timing, its linearized baseline, or a fixed-service stand-in for theory
+  checks), with per-chip heterogeneity and shared bounded pricing caches;
 * :mod:`~repro.serving.simulator` — the event-driven simulation itself;
 * :mod:`~repro.serving.report` — throughput / p50-p95-p99 latency / queue
   / utilization / energy-per-query reporting;
@@ -20,7 +21,14 @@ layers on the shared discrete-event core (:mod:`repro.core.events`):
 
 from repro.serving.arrivals import PoissonArrivals, Request, TraceArrivals
 from repro.serving.batcher import NO_BATCHING, DynamicBatcher
-from repro.serving.fleet import ChipFleet, FixedServiceModel, ServiceModel, StarServiceModel
+from repro.serving.fleet import (
+    ChipFleet,
+    FixedServiceModel,
+    LinearServiceModel,
+    PricingCache,
+    ServiceModel,
+    StarServiceModel,
+)
 from repro.serving.report import BatchRecord, RequestRecord, ServingReport
 from repro.serving.simulator import ServingSimulator
 from repro.serving.theory import MD1Queue, MM1Queue
@@ -34,6 +42,8 @@ __all__ = [
     "ServiceModel",
     "FixedServiceModel",
     "StarServiceModel",
+    "LinearServiceModel",
+    "PricingCache",
     "ChipFleet",
     "ServingSimulator",
     "RequestRecord",

@@ -8,25 +8,44 @@ What a batch costs is delegated to a *service model*:
   :class:`~repro.core.accelerator.ChipResources` worth of tile banks,
   softmax engines and overheads) prices a batch as a whole-model BERT
   inference at the batch's padded sequence length, with energy charged at
-  the chip's active power.  Timings are cached per ``(batch, seq_len)``
-  shape — the model is deterministic, so each shape is priced once.
+  the chip's active power.  Pricing is **batch-aware**: it defaults to
+  :meth:`~repro.core.batch_cost.BatchCostModel.streamed`, under which a
+  batch programs each stationary operand once and streams every request's
+  rows through it (double-buffered beyond the first request), so batch
+  service time is genuinely sublinear in batch size.  Timings are cached
+  per ``(batch, seq_len)`` shape in a bounded cache shared across all
+  identically-configured models — the chips of a fleet (and every fleet of
+  a sweep) price each shape exactly once.
+* :class:`LinearServiceModel` — wraps any service model and prices a batch
+  as ``batch_size x single_request``: the pre-batching behaviour, kept as
+  the explicit baseline the amortisation sweeps compare against.
 * :class:`FixedServiceModel` — a synthetic deterministic service used by
   the queueing-theory cross-validation (M/D/1 needs a known constant
   service time, not a full accelerator model).
 
-Heterogeneous fleets (e.g. one older slower chip) are expressed through
-per-chip ``speedups``, exactly like the executor's unbalanced
-softmax-engine pools.
+Fleets can be heterogeneous two ways: per-chip ``speedups`` (scalar speed
+factors, as before), or a per-chip ``service_models`` sequence — chips
+with genuinely different :class:`~repro.core.accelerator.ChipResources`
+(tile counts, engine pools) price the same batch differently, which is
+what length-aware routing studies need.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
 from repro.utils.validation import require_non_negative, require_positive
 
-__all__ = ["ServiceModel", "FixedServiceModel", "StarServiceModel", "ChipFleet"]
+__all__ = [
+    "ServiceModel",
+    "FixedServiceModel",
+    "StarServiceModel",
+    "LinearServiceModel",
+    "PricingCache",
+    "ChipFleet",
+]
 
 
 class ServiceModel(Protocol):
@@ -47,15 +66,18 @@ class FixedServiceModel:
 
     A batch of ``b`` requests costs ``b * request_latency_s`` — no batching
     benefit, which keeps the no-batching single-chip limit an exact M/D/1
-    queue with service time ``request_latency_s``.
+    queue with service time ``request_latency_s``.  ``idle_power_w`` is the
+    chip's standby draw, charged by the report over un-occupied time.
     """
 
     request_latency_s: float
     request_energy_j: float = 0.0
+    idle_power_w: float = 0.0
 
     def __post_init__(self) -> None:
         require_positive(self.request_latency_s, "request_latency_s")
         require_non_negative(self.request_energy_j, "request_energy_j")
+        require_non_negative(self.idle_power_w, "idle_power_w")
 
     def batch_latency_s(self, batch_size: int, seq_len: int) -> float:
         return batch_size * self.request_latency_s
@@ -64,33 +86,130 @@ class FixedServiceModel:
         return batch_size * self.request_energy_j
 
 
+class PricingCache:
+    """A bounded LRU cache of ``(model fingerprint, batch, seq_len)`` timings.
+
+    One instance is shared by default across every
+    :class:`StarServiceModel`, so the chips of a fleet — and repeated
+    sweeps over the same configuration — price each distinct shape exactly
+    once, while models with different configurations can never collide
+    (their fingerprints differ).  Bounded so day-long sweeps over many
+    shapes cannot grow memory without limit.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        require_positive(maxsize, "maxsize")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, tuple[float, float]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple) -> tuple[float, float] | None:
+        """The cached timing, refreshed as most-recently used."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, value: tuple[float, float]) -> None:
+        """Insert a timing, evicting the least-recently-used beyond the bound."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+
+#: The default cache shared by every StarServiceModel instance.
+_SHARED_PRICING_CACHE = PricingCache()
+
+
 class StarServiceModel:
     """Batch pricing by a STAR accelerator's whole-model timing.
 
-    ``accelerator`` defaults to the stock analytical-schedule
-    :class:`~repro.core.accelerator.STARAccelerator`; pass a
-    ``schedule="executed"`` instance to price batches with the event-driven
-    executor instead (slower, but captures jitter and discrete pools).
-    ``bert_config`` sizes the served model.  Results are cached per
-    ``(batch_size, seq_len)``.
+    ``accelerator`` defaults to a stock analytical-schedule
+    :class:`~repro.core.accelerator.STARAccelerator` built with
+    ``batch_cost`` (itself defaulting to the fully batch-aware
+    :meth:`~repro.core.batch_cost.BatchCostModel.streamed` pricing — pass
+    :meth:`~repro.core.batch_cost.BatchCostModel.legacy` to reproduce the
+    old linear behaviour); pass a ``schedule="executed"`` instance to
+    price batches with the event-driven executor instead (slower, but
+    captures jitter and discrete pools).  ``bert_config`` sizes the served
+    model.  Results are cached per ``(batch_size, seq_len)`` in ``cache``
+    (the process-wide shared :class:`PricingCache` by default).
     """
 
-    def __init__(self, accelerator=None, bert_config=None) -> None:
+    def __init__(
+        self,
+        accelerator=None,
+        bert_config=None,
+        batch_cost=None,
+        cache: PricingCache | None = None,
+        seq_len: int = 128,
+    ) -> None:
         from repro.core.accelerator import STARAccelerator
+        from repro.core.batch_cost import BatchCostModel
         from repro.nn.bert import BERT_BASE, BertWorkload
 
-        self.accelerator = accelerator or STARAccelerator()
+        if accelerator is not None and batch_cost is not None:
+            raise ValueError(
+                "pass either an accelerator (whose batch_cost is used) or "
+                "batch_cost, not both"
+            )
+        if accelerator is None:
+            accelerator = STARAccelerator(
+                batch_cost=batch_cost or BatchCostModel.streamed()
+            )
+        self.accelerator = accelerator
         self.bert_config = bert_config or BERT_BASE
-        self._base_workload = BertWorkload(config=self.bert_config)
-        self._cache: dict[tuple[int, int], tuple[float, float]] = {}
+        # the model's home sequence length: the idle-power reference (and
+        # the default length of the workloads it prices)
+        self.seq_len = seq_len
+        self._base_workload = BertWorkload(config=self.bert_config, seq_len=seq_len)
+        self.cache = cache if cache is not None else _SHARED_PRICING_CACHE
+        self._fingerprint = (
+            type(self.accelerator),  # subclasses may override the timing model
+            self.bert_config,
+            self.accelerator.config,
+            self.accelerator.schedule,
+            self.accelerator.num_softmax_engines,
+            self.accelerator.system_overhead,  # feeds power_w -> cached energy
+            self.accelerator.batch_cost,
+            self.accelerator.jitter,
+        )
+
+    @property
+    def batch_cost(self):
+        """The accelerator's batch-cost model (the pricing semantics)."""
+        return self.accelerator.batch_cost
+
+    @property
+    def idle_power_w(self) -> float:
+        """Standby power of one chip of this model (leakage over idle time).
+
+        Referenced at the model's ``seq_len`` so the idle fraction is
+        consistent with the active power the same chip is charged while
+        serving that length.
+        """
+        return self.accelerator.resources.idle_power_w(self.seq_len)
 
     def _timing(self, batch_size: int, seq_len: int) -> tuple[float, float]:
-        key = (batch_size, seq_len)
-        if key not in self._cache:
+        key = (self._fingerprint, batch_size, seq_len)
+        cached = self.cache.get(key)
+        if cached is None:
             workload = self._base_workload.with_seq_len(seq_len).with_batch(batch_size)
             timing = self.accelerator.request_timing(workload)
-            self._cache[key] = (timing.latency_s, timing.energy_j)
-        return self._cache[key]
+            cached = (timing.latency_s, timing.energy_j)
+            self.cache.put(key, cached)
+        return cached
 
     def batch_latency_s(self, batch_size: int, seq_len: int) -> float:
         return self._timing(batch_size, seq_len)[0]
@@ -99,22 +218,62 @@ class StarServiceModel:
         return self._timing(batch_size, seq_len)[1]
 
 
+class LinearServiceModel:
+    """A service model priced as ``batch_size x single_request``.
+
+    Wraps any base model and discards its batch amortisation — the
+    pre-batching serving behaviour, kept as an explicit baseline so sweeps
+    can show what batch-aware pricing buys at the same hardware.
+    """
+
+    def __init__(self, base: ServiceModel) -> None:
+        self.base = base
+
+    @property
+    def idle_power_w(self) -> float:
+        """Standby power of the wrapped chip model."""
+        return getattr(self.base, "idle_power_w", 0.0)
+
+    def batch_latency_s(self, batch_size: int, seq_len: int) -> float:
+        return batch_size * self.base.batch_latency_s(1, seq_len)
+
+    def batch_energy_j(self, batch_size: int, seq_len: int) -> float:
+        return batch_size * self.base.batch_energy_j(1, seq_len)
+
+
 class ChipFleet:
     """``num_chips`` chips sharing one dispatch queue.
 
-    ``speedups`` divides each chip's batch service time (and scales its
-    energy down accordingly — a faster chip finishes the same work
-    sooner at the same power).
+    Homogeneous fleets pass one ``service_model`` (replicated per chip);
+    heterogeneous fleets pass ``service_models`` — one per chip, e.g.
+    :class:`StarServiceModel` instances over different
+    :class:`~repro.core.accelerator.ChipResources` tile counts.
+    ``speedups`` additionally divides each chip's batch service time (and
+    scales its energy down accordingly — a faster chip finishes the same
+    work sooner at the same power).
     """
 
     def __init__(
         self,
-        service_model: ServiceModel,
+        service_model: ServiceModel | None = None,
         num_chips: int = 1,
         speedups: Sequence[float] | None = None,
+        service_models: Sequence[ServiceModel] | None = None,
     ) -> None:
-        require_positive(num_chips, "num_chips")
-        self.service_model = service_model
+        if (service_model is None) == (service_models is None):
+            raise ValueError("pass exactly one of service_model or service_models")
+        if service_models is not None:
+            self.models: tuple[ServiceModel, ...] = tuple(service_models)
+            if not self.models:
+                raise ValueError("service_models must not be empty")
+            if num_chips not in (1, len(self.models)):
+                raise ValueError(
+                    f"got {len(self.models)} service_models for {num_chips} chips"
+                )
+            num_chips = len(self.models)
+        else:
+            require_positive(num_chips, "num_chips")
+            self.models = (service_model,) * num_chips
         self.num_chips = num_chips
         if speedups is None:
             speedups = (1.0,) * num_chips
@@ -126,10 +285,19 @@ class ChipFleet:
         for speed in self.speedups:
             require_positive(speed, "chip speedup")
 
+    @property
+    def service_model(self) -> ServiceModel:
+        """The first chip's service model (the whole fleet's when homogeneous)."""
+        return self.models[0]
+
     def batch_latency_s(self, chip: int, batch_size: int, seq_len: int) -> float:
         """Service time of the batch on one specific chip."""
-        return self.service_model.batch_latency_s(batch_size, seq_len) / self.speedups[chip]
+        return self.models[chip].batch_latency_s(batch_size, seq_len) / self.speedups[chip]
 
     def batch_energy_j(self, chip: int, batch_size: int, seq_len: int) -> float:
         """Energy of the batch on one specific chip."""
-        return self.service_model.batch_energy_j(batch_size, seq_len) / self.speedups[chip]
+        return self.models[chip].batch_energy_j(batch_size, seq_len) / self.speedups[chip]
+
+    def idle_power_w(self, chip: int) -> float:
+        """Standby power of one chip (0 for models that do not declare one)."""
+        return getattr(self.models[chip], "idle_power_w", 0.0)

@@ -63,13 +63,22 @@ class BatchRecord:
 
 @dataclass(frozen=True)
 class ServingReport:
-    """Result of one serving simulation run."""
+    """Result of one serving simulation run.
+
+    ``chip_idle_power_w`` is each chip's standby power; the report charges
+    it over the chip's un-occupied share of the makespan, so
+    :attr:`energy_per_query_j` stays honest at low load (a nearly idle
+    fleet still burns leakage).  The active-only figure survives as
+    :attr:`active_energy_per_query_j`.  An empty tuple (the default) means
+    no idle power was modelled.
+    """
 
     num_chips: int
     requests: tuple[RequestRecord, ...]
     batches: tuple[BatchRecord, ...]
     chip_busy_s: tuple[float, ...]
     queue_peak: int
+    chip_idle_power_w: tuple[float, ...] = ()
 
     # ------------------------------------------------------------------ #
     # volume and rates
@@ -189,11 +198,43 @@ class ServingReport:
         return sum(batch.energy_j for batch in self.batches)
 
     @property
-    def energy_per_query_j(self) -> float:
-        """Active energy per completed request — the serving-side figure of merit."""
+    def idle_energy_j(self) -> float:
+        """Leakage / standby energy over the fleet's un-occupied time.
+
+        Each chip pays its idle power for the share of the makespan it was
+        not serving a batch; zero when no idle power was modelled.
+        """
+        if not self.chip_idle_power_w:
+            return 0.0
+        span = self.makespan_s
+        return sum(
+            power * max(0.0, span - busy)
+            for power, busy in zip(self.chip_idle_power_w, self.chip_busy_s)
+        )
+
+    @property
+    def total_energy_j(self) -> float:
+        """Active plus idle energy over the run."""
+        return self.energy_j + self.idle_energy_j
+
+    @property
+    def active_energy_per_query_j(self) -> float:
+        """Active-only energy per completed request (the pre-idle-power figure)."""
         if not self.requests:
             return 0.0
         return self.energy_j / self.num_requests
+
+    @property
+    def energy_per_query_j(self) -> float:
+        """Energy per completed request including idle/leakage power.
+
+        The serving-side figure of merit: at high load it approaches the
+        active-only figure, at low load the makespan's leakage dominates —
+        which is exactly what a capacity planner needs to see.
+        """
+        if not self.requests:
+            return 0.0
+        return self.total_energy_j / self.num_requests
 
     # ------------------------------------------------------------------ #
     # presentation
@@ -214,6 +255,7 @@ class ServingReport:
             "mean_batch_size": self.mean_batch_size,
             "mean_utilization": self.mean_utilization,
             "energy_per_query_j": self.energy_per_query_j,
+            "active_energy_per_query_j": self.active_energy_per_query_j,
         }
 
     def format_table(self) -> str:
@@ -229,6 +271,7 @@ class ServingReport:
             f"{self.mean_queue_depth:.2f} (peak {self.queue_peak})",
             f"fleet utilization       : {self.mean_utilization * 100:.1f}% "
             f"over {self.num_chips} chip(s)",
-            f"energy per query        : {self.energy_per_query_j * 1e6:.2f} uJ",
+            f"energy per query        : {self.energy_per_query_j * 1e6:.2f} uJ "
+            f"(active only {self.active_energy_per_query_j * 1e6:.2f} uJ)",
         ]
         return "\n".join(lines)

@@ -154,4 +154,7 @@ class ServingSimulator:
             batches=tuple(batch_records),
             chip_busy_s=tuple(per_chip_busy),
             queue_peak=chips.queue_peak,
+            chip_idle_power_w=tuple(
+                self.fleet.idle_power_w(chip) for chip in range(self.fleet.num_chips)
+            ),
         )

@@ -98,11 +98,43 @@ class TestRequestTiming:
         workload = BertWorkload(seq_len=128, batch_size=4)
         timing = star.request_timing(workload)
         assert timing.latency_s == pytest.approx(star.inference_latency_s(workload))
+        # energy is charged at the serialized-equivalent rate: the wall
+        # clock double-buffering saves removes no conversions
+        from repro.core.batch_cost import BatchCostModel
+
+        serialized = STARAccelerator(batch_cost=BatchCostModel(double_buffering=False))
         assert timing.energy_j == pytest.approx(
-            star.power_w(128) * timing.latency_s
+            star.power_w(128) * serialized.inference_latency_s(workload)
         )
+        assert timing.energy_j > star.power_w(128) * timing.latency_s
         assert timing.latency_per_request_s == pytest.approx(timing.latency_s / 4)
         assert timing.energy_per_request_j == pytest.approx(timing.energy_j / 4)
+
+    def test_batch_one_energy_is_power_times_latency(self):
+        star = STARAccelerator()
+        workload = BertWorkload(seq_len=128)
+        timing = star.request_timing(workload)
+        assert timing.energy_j == star.power_w(128) * timing.latency_s
+
+    def test_batch_energy_never_amortises_streaming(self):
+        from repro.core.batch_cost import BatchCostModel
+
+        streamed = STARAccelerator(batch_cost=BatchCostModel.streamed())
+        resident = STARAccelerator()
+        single = streamed.request_timing(BertWorkload(seq_len=128)).energy_j
+        programming = single - resident.request_timing(BertWorkload(seq_len=128)).energy_j
+        assert programming > 0
+        for batch in (4, 8):
+            workload = BertWorkload(seq_len=128, batch_size=batch)
+            batched = streamed.request_timing(workload).energy_j
+            # the one-time programming charge rides once per batch on top of
+            # the resident streaming energy, whatever the batch size
+            assert batched == pytest.approx(
+                resident.request_timing(workload).energy_j + programming
+            )
+            # energy grows with the batch and amortises only per request
+            assert single < batched <= batch * single
+            assert batched / batch < single
 
     def test_workload_request_helpers(self):
         workload = BertWorkload(seq_len=128)

@@ -119,7 +119,20 @@ def test_vector_schedule_beats_operand_up_to_forwarding_cost(timing, executor):
     vector = executor.execute_vector(timing)
     operand = executor.execute_operand(timing)
     forwarding_slack = (timing.num_rows - 1) * executor.config.stage_handoff_s
-    assert vector.total_latency_s <= operand.total_latency_s + forwarding_slack + _EPS
+    packing_slack = 0.0
+    if executor.jitter is not None:
+        # with jittered (heterogeneous) service times the two schedules are
+        # different list schedules of the same tasks: the operand barrier
+        # dispatches each stage's rows to the least-loaded server while the
+        # vector pipeline dispatches in arrival order, so the operand
+        # packing can win by up to one maximal task per stage (the standard
+        # list-scheduling bound), on top of the forwarding difference
+        score_s, softmax_s, context_s = executor._service_times(timing)
+        packing_slack = score_s.max() + softmax_s.max() + context_s.max()
+    assert (
+        vector.total_latency_s
+        <= operand.total_latency_s + forwarding_slack + packing_slack + _EPS
+    )
 
 
 @settings(max_examples=60, deadline=None)

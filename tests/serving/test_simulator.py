@@ -168,7 +168,33 @@ class TestReportMetrics:
         assert "p50/p95/p99" in text and "energy per query" in text
 
     def test_star_service_model_caches(self):
-        model = StarServiceModel()
+        from repro.serving import PricingCache
+
+        cache = PricingCache(maxsize=8)
+        model = StarServiceModel(cache=cache)
         first = model.batch_latency_s(2, 128)
         assert model.batch_latency_s(2, 128) == first
-        assert (2, 128) in model._cache
+        assert len(cache) == 1 and cache.hits == 1 and cache.misses == 1
+        # an identically-configured model shares the priced shape...
+        twin = StarServiceModel(cache=cache)
+        assert twin.batch_latency_s(2, 128) == first
+        assert len(cache) == 1 and cache.hits == 2
+        # ...while a differently-configured one can never collide
+        from repro.core.batch_cost import BatchCostModel
+
+        other = StarServiceModel(cache=cache, batch_cost=BatchCostModel.legacy())
+        assert other.batch_latency_s(2, 128) != first
+        assert len(cache) == 2
+
+    def test_pricing_cache_is_bounded(self):
+        from repro.serving import PricingCache
+
+        cache = PricingCache(maxsize=4)
+        model = StarServiceModel(cache=cache)
+        for batch in range(1, 8):
+            model.batch_latency_s(batch, 64)
+        assert len(cache) == 4  # LRU-evicted down to the bound
+        # the evicted shape re-prices to the same deterministic value
+        assert model.batch_latency_s(1, 64) == StarServiceModel(
+            cache=PricingCache(maxsize=4)
+        ).batch_latency_s(1, 64)
