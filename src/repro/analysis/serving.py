@@ -1,4 +1,4 @@
-"""Serving-level analysis: load sweeps and queueing-theory validation.
+"""Serving-level analysis: load sweeps, fault injection and queueing theory.
 
 :class:`ServingAnalyzer` drives the request-level simulator
 (:mod:`repro.serving`) over a sweep of offered loads on a STAR chip fleet
@@ -7,14 +7,23 @@ latencies, queue depths, fleet utilization and energy per query — plus an
 M/D/1 Pollaczek–Khinchine cross-validation row for the single-chip,
 no-batching limit (the regime where the simulator has a closed form to
 answer to).  This is the E10 experiment.
+
+:class:`FaultServingAnalyzer` is the E11 experiment: the same fleet under
+chip failure/repair processes (:mod:`repro.serving.faults`), sweeping
+steady-state capacity loss with two control policies per point — graceful
+degradation (deadline shedding, bounded queue, degraded batch cap) versus
+the unprotected queue — against the fault-free baseline, so the report
+shows directly what admission control buys when hardware misbehaves.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.serving.arrivals import PoissonArrivals
 from repro.serving.batcher import NO_BATCHING, DynamicBatcher
+from repro.serving.faults import AdmissionController, FaultInjector, RetryPolicy
 from repro.serving.fleet import ChipFleet, LinearServiceModel, ServiceModel, StarServiceModel
 from repro.serving.report import ServingReport
 from repro.serving.simulator import ServingSimulator
@@ -28,6 +37,8 @@ __all__ = [
     "BatchCapRow",
     "MD1ValidationRow",
     "ServingAnalyzer",
+    "FaultSweepRow",
+    "FaultServingAnalyzer",
 ]
 
 
@@ -299,4 +310,217 @@ class ServingAnalyzer:
             f"P-K {check.theory_wait_s * 1e3:.3f} ms "
             f"({check.deviation * 100:.2f}% off)"
         )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FaultSweepRow:
+    """One capacity-loss point of the fault sweep, under both policies.
+
+    ``shed_report`` runs graceful degradation (deadline shedding, bounded
+    queue, degraded batch cap); ``queue_report`` runs the same traffic and
+    the same failure history with an unprotected queue (retries without a
+    deadline, unbounded depth) — the arm whose queue blows up.
+    """
+
+    capacity_loss: float
+    mtbf_s: float
+    shed_report: ServingReport
+    queue_report: ServingReport
+
+    @property
+    def shed_goodput_rps(self) -> float:
+        """Deadline-meeting completion rate under graceful degradation."""
+        return self.shed_report.goodput_rps
+
+    @property
+    def queue_goodput_rps(self) -> float:
+        """Completion rate of the unprotected-queue arm."""
+        return self.queue_report.goodput_rps
+
+
+class FaultServingAnalyzer:
+    """Graceful-degradation sweep of a fault-injected STAR fleet (E11).
+
+    The offered load is held at ``load_factor`` of the fleet's amortised
+    capacity at the batcher's cap; the sweep raises the steady-state
+    capacity loss of a per-chip MTBF/MTTR fault process whose repair cost
+    is the chip's full-model operand reprogramming time plus a fixed
+    detection/drain overhead.  Each point is simulated twice on identical
+    traffic and failure seeds:
+
+    * *shed* — :class:`~repro.serving.faults.RetryPolicy` with a
+      per-request deadline, deadline-based queue shedding, a bounded queue
+      sized to the deadline (requests deeper than ``deadline x rate``
+      cannot make it anyway) and a degraded-mode batch cap;
+    * *queue* — retries without deadlines on an unbounded queue: the
+      policy-free baseline whose backlog and tail latency blow up once the
+      surviving capacity drops below the offered load.
+
+    Parameters mirror :class:`ServingAnalyzer`; ``detection_s`` is the
+    non-reprogramming share of each repair and ``deadline_s`` the
+    per-request completion SLO of the shedding arm.
+    """
+
+    def __init__(
+        self,
+        service_model: ServiceModel | None = None,
+        num_chips: int = 4,
+        batcher: DynamicBatcher | None = None,
+        seq_len: int = 128,
+        num_requests: int = 3000,
+        seed: int = 0,
+        load_factor: float = 0.95,
+        detection_s: float = 0.05,
+        deadline_s: float = 0.25,
+    ) -> None:
+        require_positive(num_chips, "num_chips")
+        require_positive(num_requests, "num_requests")
+        require_positive(load_factor, "load_factor")
+        require_positive(deadline_s, "deadline_s")
+        self.service_model = service_model or StarServiceModel(seq_len=seq_len)
+        self.num_chips = num_chips
+        self.batcher = batcher or DynamicBatcher(max_batch_size=8, max_wait_s=2e-3)
+        self.seq_len = seq_len
+        self.num_requests = num_requests
+        self.seed = seed
+        self.load_factor = load_factor
+        self.detection_s = detection_s
+        self.deadline_s = deadline_s
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    def fleet(self) -> ChipFleet:
+        """The simulated fleet (fresh per run; pricing is cached anyway)."""
+        return ChipFleet(self.service_model, num_chips=self.num_chips)
+
+    def repair_s(self) -> float:
+        """Per-failure tile-bank reprogramming time of one chip."""
+        return self.fleet().reprogram_latency_s(0)
+
+    def downtime_s(self) -> float:
+        """Total downtime of one failure: detection/drain plus reprogram."""
+        return self.detection_s + self.repair_s()
+
+    def amortised_capacity_rps(self) -> float:
+        """Fleet completion-rate bound at the batcher's full batch size."""
+        cap = self.batcher.max_batch_size
+        return self.num_chips * cap / self.service_model.batch_latency_s(
+            cap, self.seq_len
+        )
+
+    def offered_rate_rps(self) -> float:
+        """The sweep's fixed offered load."""
+        return self.load_factor * self.amortised_capacity_rps()
+
+    def _requests(self):
+        return PoissonArrivals(
+            self.offered_rate_rps(), seq_len=self.seq_len, seed=self.seed
+        ).generate(self.num_requests)
+
+    def _shed_policies(self) -> tuple[RetryPolicy, AdmissionController]:
+        retry = RetryPolicy(
+            max_attempts=3,
+            backoff_base_s=2e-3,
+            backoff_multiplier=2.0,
+            jitter=0.25,
+            deadline_s=self.deadline_s,
+        )
+        admission = AdmissionController(
+            max_queue_depth=max(1, math.ceil(self.deadline_s * self.offered_rate_rps())),
+            shed_expired=True,
+            degraded_max_batch=max(1, self.batcher.max_batch_size // 2),
+        )
+        return retry, admission
+
+    def _queue_policies(self) -> tuple[RetryPolicy, None]:
+        retry = RetryPolicy(
+            max_attempts=6,
+            backoff_base_s=2e-3,
+            backoff_multiplier=2.0,
+            jitter=0.25,
+            deadline_s=None,
+        )
+        return retry, None
+
+    # ------------------------------------------------------------------ #
+    # runs
+    # ------------------------------------------------------------------ #
+    def baseline(self) -> ServingReport:
+        """The fault-free run every degradation curve is measured against."""
+        return ServingSimulator(self.fleet(), self.batcher).run(self._requests())
+
+    def row_for(self, capacity_loss: float) -> FaultSweepRow:
+        """Both policy arms at one steady-state capacity-loss level."""
+        injector = FaultInjector.for_capacity_loss(
+            capacity_loss,
+            repair_s=self.repair_s(),
+            detection_s=self.detection_s,
+            seed=self.seed + 1,
+        )
+        requests = self._requests()
+        shed_retry, shed_admission = self._shed_policies()
+        shed_report = ServingSimulator(
+            self.fleet(),
+            self.batcher,
+            faults=injector,
+            retry=shed_retry,
+            admission=shed_admission,
+        ).run(requests)
+        queue_retry, queue_admission = self._queue_policies()
+        queue_report = ServingSimulator(
+            self.fleet(),
+            self.batcher,
+            faults=injector,
+            retry=queue_retry,
+            admission=queue_admission,
+        ).run(requests)
+        return FaultSweepRow(
+            capacity_loss=capacity_loss,
+            mtbf_s=injector.mtbf_s,
+            shed_report=shed_report,
+            queue_report=queue_report,
+        )
+
+    def sweep_rows(
+        self, losses: tuple[float, ...] = (0.05, 0.10, 0.20)
+    ) -> list[FaultSweepRow]:
+        """The graceful-degradation curve over rising capacity loss."""
+        return [self.row_for(loss) for loss in losses]
+
+    # ------------------------------------------------------------------ #
+    # presentation
+    # ------------------------------------------------------------------ #
+    def format_table(self, losses: tuple[float, ...] = (0.05, 0.10, 0.20)) -> str:
+        """Printable degradation curve: shed vs unprotected queue."""
+        baseline = self.baseline()
+        lines = [
+            f"offered load            : {self.offered_rate_rps():.0f} req/s "
+            f"({self.load_factor:.2f} of amortised batch-"
+            f"{self.batcher.max_batch_size} capacity "
+            f"{self.amortised_capacity_rps():.0f} req/s)",
+            f"repair cost per failure : {self.repair_s() * 1e3:.3f} ms tile-bank "
+            f"reprogram + {self.detection_s * 1e3:.0f} ms detection/drain = "
+            f"{self.downtime_s() * 1e3:.1f} ms",
+            f"baseline (no faults)    : goodput {baseline.goodput_rps:.1f} req/s, "
+            f"p99 {baseline.p99_latency_s * 1e3:.2f} ms, "
+            f"queue peak {baseline.queue_peak}",
+            "",
+            f"{'loss':>5} {'mtbf(s)':>8} | {'shed goodput':>12} {'vs base':>8} "
+            f"{'p99(ms)':>8} {'shed':>5} {'aband':>6} {'avail':>6} | "
+            f"{'queue goodput':>13} {'p99(ms)':>8} {'qpeak':>6}",
+        ]
+        for row in self.sweep_rows(losses):
+            shed, queue = row.shed_report, row.queue_report
+            lines.append(
+                f"{row.capacity_loss:>5.2f} {row.mtbf_s:>8.3f} | "
+                f"{shed.goodput_rps:>12.1f} "
+                f"{shed.goodput_rps / baseline.goodput_rps * 100:>7.1f}% "
+                f"{shed.p99_latency_s * 1e3:>8.2f} {shed.num_shed:>5d} "
+                f"{shed.num_abandoned:>6d} "
+                f"{shed.fleet_availability * 100:>5.1f}% | "
+                f"{queue.goodput_rps:>13.1f} {queue.p99_latency_s * 1e3:>8.2f} "
+                f"{queue.queue_peak:>6d}"
+            )
         return "\n".join(lines)

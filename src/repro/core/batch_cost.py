@@ -46,7 +46,7 @@ otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.events import ARRIVE, FREE, EventLoop, ServerPool
 from repro.utils.validation import require_positive
@@ -129,6 +129,26 @@ class BatchCostModel:
             double_buffering=True,
             inter_request_parallelism=True,
         )
+
+    def maintenance_reprogram_latency_s(
+        self, engine: "MatMulEngine", shapes: Sequence["GEMMShape"]
+    ) -> float:
+        """Latency of rewriting every stationary operand in ``shapes``.
+
+        A chip repair (a crashed chip, stuck/drifted devices remapped) must
+        rewrite its tile bank's conductance state from scratch, so — unlike
+        per-batch pricing — the programming cost is charged regardless of
+        :attr:`weight_policy`: even ``"resident"`` weights are gone after a
+        failure.  This is what makes fault repair a physically grounded
+        maintenance event rather than a magic downtime constant.
+        """
+        return sum(engine.programming_latency_s(shape) for shape in shapes)
+
+    def maintenance_reprogram_energy_j(
+        self, engine: "MatMulEngine", shapes: Sequence["GEMMShape"]
+    ) -> float:
+        """Energy of the same maintenance rewrite (all cells repriced)."""
+        return sum(engine.programming_energy_j(shape) for shape in shapes)
 
 
 #: Default pricing: batch-1 bit-identical to the pre-batching model, with

@@ -116,6 +116,7 @@ class ServerPool:
         for speed in self.speedups:
             require_positive(speed, f"{name} server speedup")
         self.idle = [True] * num_servers
+        self.online = [True] * num_servers
         self.queues: list[list[Any]] = [[] for _ in range(num_servers if keyed else 1)]
         self.heads = [0] * len(self.queues)
         self.busy_s = 0.0
@@ -155,17 +156,28 @@ class ServerPool:
         return item
 
     def idle_server(self, key: int = 0) -> int | None:
-        """An idle server able to serve ``key``, or ``None``.
+        """An idle *online* server able to serve ``key``, or ``None``.
 
         Keyed pools return the key's server iff it is idle; shared pools
-        return the lowest-indexed idle server.
+        return the lowest-indexed idle server.  Servers taken offline via
+        :meth:`set_online` (e.g. failed chips of a fault-injected serving
+        fleet) are never offered, whatever their idle state.
         """
         if self.keyed:
-            return key if self.idle[key] else None
+            return key if self.idle[key] and self.online[key] else None
         for index, free in enumerate(self.idle):
-            if free:
+            if free and self.online[index]:
                 return index
         return None
+
+    def set_online(self, server: int, online: bool) -> None:
+        """Mark a server as dispatchable (``True``) or failed/offline.
+
+        Offline servers keep their queue and bookkeeping but are skipped by
+        :meth:`idle_server`; all servers start online, so pools that never
+        call this behave exactly as before.
+        """
+        self.online[server] = online
 
     def service_time(self, server: int, nominal_s: float) -> float:
         """``nominal_s`` scaled by the server's speed factor."""

@@ -13,14 +13,26 @@ layers on the shared discrete-event core (:mod:`repro.core.events`):
   timing, its linearized baseline, or a fixed-service stand-in for theory
   checks), with per-chip heterogeneity and shared bounded pricing caches;
 * :mod:`~repro.serving.simulator` — the event-driven simulation itself;
+* :mod:`~repro.serving.faults` — per-chip MTBF/MTTR failure–repair
+  processes (repair priced as full-model operand reprogramming), retry
+  policies with deadline-aware backoff, and admission control / load
+  shedding for graceful degradation;
 * :mod:`~repro.serving.report` — throughput / p50-p95-p99 latency / queue
-  / utilization / energy-per-query reporting;
+  / utilization / energy-per-query reporting, plus the availability
+  ledger of fault-injected runs;
 * :mod:`~repro.serving.theory` — M/D/1 (and M/M/1) closed forms the
   simulator is cross-validated against.
 """
 
 from repro.serving.arrivals import PoissonArrivals, Request, TraceArrivals
 from repro.serving.batcher import NO_BATCHING, DynamicBatcher
+from repro.serving.faults import (
+    AdmissionController,
+    FaultInjector,
+    FaultSession,
+    NO_ADMISSION,
+    RetryPolicy,
+)
 from repro.serving.fleet import (
     ChipFleet,
     FixedServiceModel,
@@ -29,7 +41,14 @@ from repro.serving.fleet import (
     ServiceModel,
     StarServiceModel,
 )
-from repro.serving.report import BatchRecord, RequestRecord, ServingReport
+from repro.serving.report import (
+    BatchRecord,
+    DropRecord,
+    FailureRecord,
+    RequestRecord,
+    RetryRecord,
+    ServingReport,
+)
 from repro.serving.simulator import ServingSimulator
 from repro.serving.theory import MD1Queue, MM1Queue
 
@@ -46,8 +65,16 @@ __all__ = [
     "PricingCache",
     "ChipFleet",
     "ServingSimulator",
+    "FaultInjector",
+    "FaultSession",
+    "RetryPolicy",
+    "AdmissionController",
+    "NO_ADMISSION",
     "RequestRecord",
     "BatchRecord",
+    "DropRecord",
+    "RetryRecord",
+    "FailureRecord",
     "ServingReport",
     "MD1Queue",
     "MM1Queue",

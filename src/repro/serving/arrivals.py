@@ -23,7 +23,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.utils.validation import require_non_negative, require_positive
+from repro.utils.validation import (
+    require_finite,
+    require_finite_array,
+    require_non_negative,
+    require_positive,
+)
 
 __all__ = ["Request", "PoissonArrivals", "TraceArrivals"]
 
@@ -37,7 +42,9 @@ class Request:
     seq_len: int
 
     def __post_init__(self) -> None:
+        require_finite(self.arrival_s, "arrival_s")
         require_non_negative(self.arrival_s, "arrival_s")
+        require_finite(self.seq_len, "seq_len")
         require_positive(self.seq_len, "seq_len")
 
 
@@ -71,6 +78,7 @@ class PoissonArrivals:
         seq_len: int | Sequence[int] = 128,
         seed: int = 0,
     ) -> None:
+        require_finite(rate_rps, "rate_rps")
         require_positive(rate_rps, "rate_rps")
         self.rate_rps = float(rate_rps)
         self.seq_len = seq_len
@@ -107,15 +115,34 @@ class TraceArrivals:
         times = np.asarray(list(times_s), dtype=np.float64)
         if times.size == 0:
             raise ValueError("an arrival trace needs at least one timestamp")
+        require_finite_array(times, "arrival timestamps")
         if times.min() < 0:
-            raise ValueError("arrival timestamps must be non-negative")
-        if np.any(np.diff(times) < 0):
-            raise ValueError("arrival timestamps must be non-decreasing")
-        if per_request_lens is not None and len(per_request_lens) != times.size:
+            index = int(np.argmin(times >= 0))
             raise ValueError(
-                f"per_request_lens has {len(per_request_lens)} entries for "
-                f"{times.size} arrivals"
+                f"arrival timestamps must be non-negative, got {times[index]} "
+                f"at index {index}"
             )
+        decreasing = np.diff(times) < 0
+        if decreasing.any():
+            index = int(np.argmax(decreasing)) + 1
+            raise ValueError(
+                f"arrival timestamps must be non-decreasing, got {times[index]} "
+                f"after {times[index - 1]} at index {index}"
+            )
+        if per_request_lens is not None:
+            if len(per_request_lens) != times.size:
+                raise ValueError(
+                    f"per_request_lens has {len(per_request_lens)} entries for "
+                    f"{times.size} arrivals"
+                )
+            lens = np.asarray(list(per_request_lens), dtype=np.float64)
+            require_finite_array(lens, "per_request_lens")
+            if lens.min() < 1:
+                index = int(np.argmin(lens >= 1))
+                raise ValueError(
+                    f"per_request_lens must be positive, got {lens[index]} "
+                    f"at index {index}"
+                )
         self.times_s = times
         self.seq_len = seq_len
         self.seed = seed

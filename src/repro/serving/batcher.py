@@ -54,6 +54,20 @@ class DynamicBatcher:
         """How many requests the next dispatch takes from the queue."""
         return min(queue_len, self.max_batch_size)
 
+    def capped(self, max_batch_size: int) -> "DynamicBatcher":
+        """This policy with its batch cap lowered to ``max_batch_size``.
+
+        Used by degraded serving modes (a fleet running with failed chips
+        dispatches smaller batches so one further failure loses fewer
+        in-flight requests); a cap at or above the current one is a no-op.
+        """
+        require_positive(max_batch_size, "max_batch_size")
+        if max_batch_size >= self.max_batch_size:
+            return self
+        return DynamicBatcher(
+            max_batch_size=max_batch_size, max_wait_s=self.max_wait_s
+        )
+
 
 #: Pure FIFO single-request service — the M/D/1 cross-validation regime.
 NO_BATCHING = DynamicBatcher(max_batch_size=1, max_wait_s=0.0)

@@ -73,11 +73,13 @@ class FixedServiceModel:
     request_latency_s: float
     request_energy_j: float = 0.0
     idle_power_w: float = 0.0
+    reprogram_latency_s: float = 0.0
 
     def __post_init__(self) -> None:
         require_positive(self.request_latency_s, "request_latency_s")
         require_non_negative(self.request_energy_j, "request_energy_j")
         require_non_negative(self.idle_power_w, "idle_power_w")
+        require_non_negative(self.reprogram_latency_s, "reprogram_latency_s")
 
     def batch_latency_s(self, batch_size: int, seq_len: int) -> float:
         return batch_size * self.request_latency_s
@@ -201,6 +203,22 @@ class StarServiceModel:
         """
         return self.accelerator.resources.idle_power_w(self.seq_len)
 
+    @property
+    def reprogram_latency_s(self) -> float:
+        """Full-model tile-bank rewrite: the chip-repair maintenance cost.
+
+        A repaired chip must reprogram every layer's stationary operands
+        before serving again; the cost is
+        :meth:`~repro.core.batch_cost.BatchCostModel.maintenance_reprogram_latency_s`
+        over the served model's weight GEMMs — charged whatever the weight
+        policy, since a failed chip's conductance state is lost.
+        """
+        workload = self._base_workload
+        per_layer = self.batch_cost.maintenance_reprogram_latency_s(
+            self.accelerator.matmul_engine, workload.weight_operand_shapes_per_layer()
+        )
+        return workload.config.num_layers * per_layer
+
     def _timing(self, batch_size: int, seq_len: int) -> tuple[float, float]:
         key = (self._fingerprint, batch_size, seq_len)
         cached = self.cache.get(key)
@@ -233,6 +251,11 @@ class LinearServiceModel:
     def idle_power_w(self) -> float:
         """Standby power of the wrapped chip model."""
         return getattr(self.base, "idle_power_w", 0.0)
+
+    @property
+    def reprogram_latency_s(self) -> float:
+        """Repair cost of the wrapped chip model (same hardware, same rewrite)."""
+        return getattr(self.base, "reprogram_latency_s", 0.0)
 
     def batch_latency_s(self, batch_size: int, seq_len: int) -> float:
         return batch_size * self.base.batch_latency_s(1, seq_len)
@@ -301,3 +324,13 @@ class ChipFleet:
     def idle_power_w(self, chip: int) -> float:
         """Standby power of one chip (0 for models that do not declare one)."""
         return getattr(self.models[chip], "idle_power_w", 0.0)
+
+    def reprogram_latency_s(self, chip: int) -> float:
+        """Full tile-bank rewrite time of one chip — its repair cost.
+
+        Scaled by the chip's speed factor like any other work it performs;
+        0 for service models that do not declare a reprogramming cost.
+        """
+        return (
+            getattr(self.models[chip], "reprogram_latency_s", 0.0) / self.speedups[chip]
+        )

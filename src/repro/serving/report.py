@@ -6,6 +6,12 @@ result object — sustained throughput, mean/tail latency (p50/p95/p99 via
 utilization, batching efficacy and energy per query — plus the raw
 per-request and per-batch records the property tests and Little's-law
 cross-checks consume.
+
+Fault-injected runs (:mod:`repro.serving.faults`) extend the report with
+an availability ledger: chip failures and their downtime, retries, shed
+and abandoned requests, goodput against offered traffic, and the wasted
+energy of batches lost mid-service.  All fault fields default to empty,
+so healthy-path reports are bit-identical to the pre-fault format.
 """
 
 from __future__ import annotations
@@ -16,12 +22,23 @@ import numpy as np
 
 from repro.utils.stats import percentile
 
-__all__ = ["RequestRecord", "BatchRecord", "ServingReport"]
+__all__ = [
+    "RequestRecord",
+    "BatchRecord",
+    "DropRecord",
+    "RetryRecord",
+    "FailureRecord",
+    "ServingReport",
+]
 
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """Timestamps of one request's trip through the serving system."""
+    """Timestamps of one request's trip through the serving system.
+
+    ``attempts`` counts failed service attempts before the completing one:
+    0 for every request of a healthy run.
+    """
 
     index: int
     arrival_s: float
@@ -31,6 +48,7 @@ class RequestRecord:
     batch_index: int
     batch_size: int
     seq_len: int
+    attempts: int = 0
 
     @property
     def wait_s(self) -> float:
@@ -61,6 +79,69 @@ class BatchRecord:
         return self.completion_s - self.dispatch_s
 
 
+#: Reasons a request can leave the system without completing.
+DROP_REASONS = ("queue_full", "deadline", "retries_exhausted")
+
+
+@dataclass(frozen=True)
+class DropRecord:
+    """One request leaving the system unserved (shed or abandoned).
+
+    ``reason`` is one of :data:`DROP_REASONS` — ``"queue_full"`` (bounded
+    queue rejected the arrival), ``"deadline"`` (expired before service or
+    before a viable retry) or ``"retries_exhausted"`` (lost its last
+    allowed attempt to a chip failure).
+    """
+
+    index: int
+    time_s: float
+    reason: str
+    attempts: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reason not in DROP_REASONS:
+            raise ValueError(
+                f"reason must be one of {DROP_REASONS}, got {self.reason!r}"
+            )
+
+
+@dataclass(frozen=True)
+class RetryRecord:
+    """One lost request re-entering the queue after a chip failure."""
+
+    index: int
+    attempt: int
+    failure_s: float
+    reenqueue_s: float
+
+    @property
+    def backoff_s(self) -> float:
+        """Back-off the request spent outside the queue."""
+        return self.reenqueue_s - self.failure_s
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One chip failure–repair cycle and what it cost.
+
+    ``repaired_s`` is when the chip re-entered service (failure time plus
+    detection and the tile-bank reprogramming); ``lost_requests`` is the
+    size of the in-flight batch the failure killed (0 if the chip was
+    idle) and ``wasted_energy_j`` the energy that batch had already burned.
+    """
+
+    chip: int
+    fail_s: float
+    repaired_s: float
+    lost_requests: int = 0
+    wasted_energy_j: float = 0.0
+
+    @property
+    def down_s(self) -> float:
+        """Downtime of this failure–repair cycle."""
+        return self.repaired_s - self.fail_s
+
+
 @dataclass(frozen=True)
 class ServingReport:
     """Result of one serving simulation run.
@@ -79,6 +160,12 @@ class ServingReport:
     chip_busy_s: tuple[float, ...]
     queue_peak: int
     chip_idle_power_w: tuple[float, ...] = ()
+    shed: tuple[DropRecord, ...] = ()
+    abandoned: tuple[DropRecord, ...] = ()
+    retries: tuple[RetryRecord, ...] = ()
+    failures: tuple[FailureRecord, ...] = ()
+    deadline_s: float | None = None
+    faults_enabled: bool = False
 
     # ------------------------------------------------------------------ #
     # volume and rates
@@ -116,7 +203,13 @@ class ServingReport:
     # latency and queueing
     # ------------------------------------------------------------------ #
     def latency_percentile_s(self, q: float) -> float:
-        """Interpolated end-to-end latency percentile."""
+        """Interpolated end-to-end latency percentile.
+
+        Computed over *completed* requests — under load shedding this is
+        the completion-conditional percentile (NaN with no completions).
+        """
+        if not self.requests:
+            return float("nan")
         return float(percentile([r.latency_s for r in self.requests], q))
 
     @property
@@ -136,12 +229,16 @@ class ServingReport:
 
     @property
     def mean_latency_s(self) -> float:
-        """Mean end-to-end latency."""
+        """Mean end-to-end latency (completed requests; NaN with none)."""
+        if not self.requests:
+            return float("nan")
         return float(np.mean([r.latency_s for r in self.requests]))
 
     @property
     def mean_wait_s(self) -> float:
-        """Mean queueing delay before dispatch."""
+        """Mean queueing delay before dispatch (completed requests)."""
+        if not self.requests:
+            return float("nan")
         return float(np.mean([r.wait_s for r in self.requests]))
 
     @property
@@ -213,9 +310,14 @@ class ServingReport:
         )
 
     @property
+    def wasted_energy_j(self) -> float:
+        """Energy burned by in-flight batches that a chip failure killed."""
+        return sum(f.wasted_energy_j for f in self.failures)
+
+    @property
     def total_energy_j(self) -> float:
-        """Active plus idle energy over the run."""
-        return self.energy_j + self.idle_energy_j
+        """Active plus idle energy over the run, including wasted work."""
+        return self.energy_j + self.idle_energy_j + self.wasted_energy_j
 
     @property
     def active_energy_per_query_j(self) -> float:
@@ -237,11 +339,103 @@ class ServingReport:
         return self.total_energy_j / self.num_requests
 
     # ------------------------------------------------------------------ #
+    # availability, shedding and goodput (fault-injected runs)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shed(self) -> int:
+        """Requests rejected by admission control or deadline shedding."""
+        return len(self.shed)
+
+    @property
+    def num_abandoned(self) -> int:
+        """Requests lost to failures that exhausted retries or deadlines."""
+        return len(self.abandoned)
+
+    @property
+    def num_retries(self) -> int:
+        """Retry re-entries after chip failures (one request may retry twice)."""
+        return len(self.retries)
+
+    @property
+    def num_offered(self) -> int:
+        """Every request that entered the system: completed + shed + abandoned."""
+        return self.num_requests + self.num_shed + self.num_abandoned
+
+    @property
+    def completion_fraction(self) -> float:
+        """Completed share of offered traffic (1.0 for a healthy run)."""
+        offered = self.num_offered
+        return self.num_requests / offered if offered else 0.0
+
+    @property
+    def num_good(self) -> int:
+        """Completed requests that also met their deadline.
+
+        Without a deadline every completion is good — goodput equals
+        throughput, as on the healthy path.
+        """
+        if self.deadline_s is None:
+            return self.num_requests
+        return sum(
+            1 for r in self.requests if r.latency_s <= self.deadline_s
+        )
+
+    @property
+    def goodput_rps(self) -> float:
+        """Deadline-meeting completions per second of makespan."""
+        span = self.makespan_s
+        return self.num_good / span if span > 0 else float("inf")
+
+    @property
+    def num_failures(self) -> int:
+        """Chip failure events over the run."""
+        return len(self.failures)
+
+    @property
+    def num_lost_batches(self) -> int:
+        """Failures that killed an in-flight batch."""
+        return sum(1 for f in self.failures if f.lost_requests > 0)
+
+    def chip_downtime_s(self, chip: int) -> float:
+        """Downtime of one chip clipped to the observation window.
+
+        The window is the makespan (first arrival to last completion);
+        repair intervals extending past the last completion only count
+        their in-window share, so availability never goes negative from a
+        repair that outlives the run.
+        """
+        if not self.requests:
+            return 0.0
+        start = min(r.arrival_s for r in self.requests)
+        end = max(r.completion_s for r in self.requests)
+        down = 0.0
+        for f in self.failures:
+            if f.chip == chip:
+                down += max(0.0, min(f.repaired_s, end) - max(f.fail_s, start))
+        return down
+
+    def chip_availability(self, chip: int) -> float:
+        """Healthy fraction of one chip over the observation window."""
+        span = self.makespan_s
+        if span <= 0:
+            return 1.0
+        return 1.0 - self.chip_downtime_s(chip) / span
+
+    @property
+    def fleet_availability(self) -> float:
+        """Mean healthy fraction across the fleet (1.0 for a healthy run)."""
+        span = self.makespan_s
+        if span <= 0:
+            return 1.0
+        down = sum(self.chip_downtime_s(chip) for chip in range(self.num_chips))
+        return 1.0 - down / (self.num_chips * span)
+
+    # ------------------------------------------------------------------ #
     # presentation
     # ------------------------------------------------------------------ #
     def summary(self) -> dict[str, float]:
         """Dictionary form used by the benchmark harness."""
-        return {
+        summary = {
             "num_requests": float(self.num_requests),
             "offered_rate_rps": self.offered_rate_rps,
             "throughput_rps": self.throughput_rps,
@@ -257,6 +451,41 @@ class ServingReport:
             "energy_per_query_j": self.energy_per_query_j,
             "active_energy_per_query_j": self.active_energy_per_query_j,
         }
+        if self.faults_enabled:
+            summary.update(
+                {
+                    "num_offered": float(self.num_offered),
+                    "num_shed": float(self.num_shed),
+                    "num_abandoned": float(self.num_abandoned),
+                    "num_retries": float(self.num_retries),
+                    "num_failures": float(self.num_failures),
+                    "goodput_rps": self.goodput_rps,
+                    "completion_fraction": self.completion_fraction,
+                    "fleet_availability": self.fleet_availability,
+                    "wasted_energy_j": self.wasted_energy_j,
+                }
+            )
+        return summary
+
+    def format_availability(self) -> str:
+        """Printable availability section of a fault-injected run."""
+        lines = [
+            f"offered -> completed    : {self.num_offered} -> {self.num_requests} "
+            f"(shed {self.num_shed}, abandoned {self.num_abandoned}, "
+            f"retries {self.num_retries})",
+            f"goodput                 : {self.goodput_rps:.1f} req/s "
+            f"({self.completion_fraction * 100:.1f}% of offered completed)",
+            f"fleet availability      : {self.fleet_availability * 100:.2f}% "
+            f"({self.num_failures} failure(s), {self.num_lost_batches} lost "
+            f"batch(es), wasted {self.wasted_energy_j * 1e3:.2f} mJ)",
+        ]
+        if self.failures:
+            downtime = " ".join(
+                f"{self.chip_downtime_s(chip) * 1e3:.1f}"
+                for chip in range(self.num_chips)
+            )
+            lines.append(f"per-chip downtime (ms)  : {downtime}")
+        return "\n".join(lines)
 
     def format_table(self) -> str:
         """Printable one-run summary."""
@@ -274,4 +503,6 @@ class ServingReport:
             f"energy per query        : {self.energy_per_query_j * 1e6:.2f} uJ "
             f"(active only {self.active_energy_per_query_j * 1e6:.2f} uJ)",
         ]
+        if self.faults_enabled:
+            lines.append(self.format_availability())
         return "\n".join(lines)

@@ -19,6 +19,34 @@ model's batch latency, and completes all member requests at once (requests
 within a batch keep FIFO order in the records).  In the single-chip,
 no-batching limit with deterministic service this is exactly an M/D/1
 queue, which :mod:`repro.serving.theory` cross-validates.
+
+Faults
+------
+
+With a :class:`~repro.serving.faults.FaultInjector` (and optionally a
+:class:`~repro.serving.faults.RetryPolicy` and
+:class:`~repro.serving.faults.AdmissionController`) the same event loop
+also runs per-chip failure/repair processes:
+
+* a failing chip goes offline — dispatch is health-aware and never offers
+  work to a failed chip — and its in-flight batch is lost: the member
+  requests re-enter the queue through the retry policy (bounded attempts,
+  deadline-aware exponential backoff with jitter) or are abandoned;
+* repair takes detection/drain time plus the chip's full-model operand
+  reprogramming cost (``ChipFleet.reprogram_latency_s``) — the
+  physically-priced maintenance event — after which the chip rejoins the
+  pool and a fresh time-to-failure is drawn;
+* the admission controller sheds arrivals beyond a bounded queue depth,
+  drops queued requests whose deadline has already passed, and may cap
+  batch size while any chip is down (degraded mode).
+
+A failure simultaneous with a batch completion loses the batch (failures
+order before completions at equal timestamps) — the conservative reading.
+Fault-aware runs record requests and batches at *completion* (a lost batch
+produces no records, only a :class:`~repro.serving.report.FailureRecord`),
+so their record order is completion order.  Without any fault component
+the simulator takes the original healthy path, bit-identical to the
+pre-fault simulator.
 """
 
 from __future__ import annotations
@@ -28,8 +56,16 @@ from typing import Sequence
 from repro.core.events import ARRIVE, FREE, TIMEOUT, EventLoop, ServerPool
 from repro.serving.arrivals import Request
 from repro.serving.batcher import NO_BATCHING, DynamicBatcher
+from repro.serving.faults import AdmissionController, FaultInjector, NO_ADMISSION, RetryPolicy
 from repro.serving.fleet import ChipFleet
-from repro.serving.report import BatchRecord, RequestRecord, ServingReport
+from repro.serving.report import (
+    BatchRecord,
+    DropRecord,
+    FailureRecord,
+    RequestRecord,
+    RetryRecord,
+    ServingReport,
+)
 
 __all__ = ["ServingSimulator"]
 
@@ -38,13 +74,47 @@ __all__ = ["ServingSimulator"]
 #: enqueued before any batch-formation decision at that timestamp.
 _DISPATCH = TIMEOUT + 1
 
+#: Fault-process events sort *before* the workload events at the same
+#: instant: a failure tied with a batch completion kills the batch (the
+#: conservative reading), and a repair tied with an arrival is visible to
+#: it.  Negative kinds keep the canonical FREE/ARRIVE/TIMEOUT order intact.
+_FAIL = FREE - 2
+_REPAIR = FREE - 1
+
 
 class ServingSimulator:
-    """Event-driven executor of a request stream over a chip fleet."""
+    """Event-driven executor of a request stream over a chip fleet.
 
-    def __init__(self, fleet: ChipFleet, batcher: DynamicBatcher = NO_BATCHING) -> None:
+    ``faults``, ``retry`` and ``admission`` are all optional; passing any
+    of them switches the run to the fault-aware path (``retry`` defaults
+    to a stock :class:`~repro.serving.faults.RetryPolicy` and ``admission``
+    to :data:`~repro.serving.faults.NO_ADMISSION` there).  With none of
+    them the healthy path is taken, bit-identical to the pre-fault
+    simulator.
+    """
+
+    def __init__(
+        self,
+        fleet: ChipFleet,
+        batcher: DynamicBatcher = NO_BATCHING,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        admission: AdmissionController | None = None,
+    ) -> None:
         self.fleet = fleet
         self.batcher = batcher
+        self.faults = faults
+        self.retry = retry
+        self.admission = admission
+
+    @property
+    def fault_aware(self) -> bool:
+        """Whether this simulator runs the fault/shedding machinery."""
+        return (
+            self.faults is not None
+            or self.retry is not None
+            or self.admission is not None
+        )
 
     def run(self, requests: Sequence[Request]) -> ServingReport:
         """Serve every request and report the completed run.
@@ -56,7 +126,14 @@ class ServingSimulator:
         if not requests:
             raise ValueError("cannot simulate an empty request stream")
         ordered = sorted(requests, key=lambda r: r.arrival_s)
+        if self.fault_aware:
+            return self._run_fault_aware(ordered)
+        return self._run_healthy(ordered)
 
+    # ------------------------------------------------------------------ #
+    # healthy path (no faults, no admission control)
+    # ------------------------------------------------------------------ #
+    def _run_healthy(self, ordered: list[Request]) -> ServingReport:
         loop = EventLoop()
         chips = ServerPool("chips", self.fleet.num_chips, speedups=self.fleet.speedups)
         for request in ordered:
@@ -157,4 +234,270 @@ class ServingSimulator:
             chip_idle_power_w=tuple(
                 self.fleet.idle_power_w(chip) for chip in range(self.fleet.num_chips)
             ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # fault-aware path (failures, retries, admission control)
+    # ------------------------------------------------------------------ #
+    def _run_fault_aware(self, ordered: list[Request]) -> ServingReport:
+        num_chips = self.fleet.num_chips
+        retry = self.retry if self.retry is not None else RetryPolicy()
+        admission = self.admission if self.admission is not None else NO_ADMISSION
+        deadline_on = retry.deadline_s is not None
+        session = self.faults.session(num_chips) if self.faults is not None else None
+
+        loop = EventLoop()
+        chips = ServerPool("chips", num_chips, speedups=self.fleet.speedups)
+        for request in ordered:
+            loop.schedule(request.arrival_s, ARRIVE, request)
+        if session is not None:
+            for chip in range(num_chips):
+                loop.schedule(session.time_to_failure_s(chip), _FAIL, chip)
+
+        request_records: list[RequestRecord] = []
+        batch_records: list[BatchRecord] = []
+        shed: list[DropRecord] = []
+        abandoned: list[DropRecord] = []
+        retries: list[RetryRecord] = []
+        failures: list[FailureRecord] = []
+        attempts: dict[int, int] = {}  # index -> failed service attempts
+        timed_wait = self.batcher.max_wait_s > 0.0
+        queued: set[int] = set()
+        # chip -> the batch it is serving: dict(epoch, members, dispatch_s,
+        # completion_s, seq_len, energy_j); records are written only when a
+        # batch *completes*, so a killed batch leaves no request records
+        inflight: list[dict | None] = [None] * num_chips
+        epoch = [0] * num_chips
+        failed = [False] * num_chips
+        # offered requests not yet completed / shed / abandoned: when this
+        # reaches 0 the traffic is resolved and fault events stop renewing,
+        # letting the event heap drain
+        outstanding = len(ordered)
+
+        def expired(request: Request, now: float) -> bool:
+            return deadline_on and now > retry.deadline_of(request.arrival_s)
+
+        def shed_from_queue(request: Request, time: float) -> None:
+            nonlocal outstanding
+            queued.discard(request.index)
+            shed.append(
+                DropRecord(
+                    index=request.index,
+                    time_s=time,
+                    reason="deadline",
+                    attempts=attempts.get(request.index, 0),
+                )
+            )
+            outstanding -= 1
+
+        def dispatch(time: float, force: bool = False) -> None:
+            """Health- and deadline-aware batch release (see healthy path)."""
+            nonlocal outstanding
+            while True:
+                oldest = chips.peek(0)
+                if oldest is None:
+                    return
+                # head-of-line deadline shedding: an expired head must not
+                # mature a batch or burn chip time nobody is waiting for
+                if admission.shed_expired and expired(oldest, time):
+                    chips.pop(0)
+                    shed_from_queue(oldest, time)
+                    continue
+                depth = chips.queue_depth()
+                if not force and not self.batcher.ready(depth, time - oldest.arrival_s):
+                    return
+                chip = chips.idle_server()  # never offers a failed chip
+                if chip is None:
+                    return
+                force = False
+                take = self.batcher.batch_of(depth)
+                if admission.degraded_max_batch is not None and any(failed):
+                    take = min(take, admission.degraded_max_batch)
+                members: list[Request] = []
+                while len(members) < take:
+                    request = chips.pop(0)
+                    if request is None:
+                        break
+                    if admission.shed_expired and expired(request, time):
+                        shed_from_queue(request, time)
+                        continue
+                    members.append(request)
+                if not members:
+                    continue  # everything popped was expired; re-evaluate
+                queued.difference_update(r.index for r in members)
+                seq_len = max(r.seq_len for r in members)
+                service = self.fleet.batch_latency_s(chip, len(members), seq_len)
+                completion = time + service
+                chips.acquire(chip)
+                chips.occupy(service)
+                epoch[chip] += 1
+                inflight[chip] = {
+                    "epoch": epoch[chip],
+                    "members": members,
+                    "dispatch_s": time,
+                    "completion_s": completion,
+                    "seq_len": seq_len,
+                    "energy_j": self.fleet.batch_energy_j(chip, len(members), seq_len),
+                }
+                loop.schedule(completion, FREE, chip, epoch[chip])
+
+        while loop:
+            time, kind, data = loop.pop()
+            if kind == ARRIVE:
+                request = data[0]
+                if not admission.admits(chips.queue_depth()):
+                    shed.append(
+                        DropRecord(
+                            index=request.index,
+                            time_s=time,
+                            reason="queue_full",
+                            attempts=attempts.get(request.index, 0),
+                        )
+                    )
+                    outstanding -= 1
+                    continue
+                chips.enqueue(0, request)
+                queued.add(request.index)
+                if timed_wait:
+                    loop.schedule(
+                        time + self.batcher.max_wait_s, TIMEOUT, request.index
+                    )
+                loop.schedule(time, _DISPATCH)
+            elif kind == FREE:
+                chip, free_epoch = data
+                info = inflight[chip]
+                if info is None or info["epoch"] != free_epoch:
+                    continue  # completion of a batch a failure already killed
+                inflight[chip] = None
+                chips.release(chip)
+                batch_index = len(batch_records)
+                batch_records.append(
+                    BatchRecord(
+                        index=batch_index,
+                        chip=chip,
+                        dispatch_s=info["dispatch_s"],
+                        completion_s=time,
+                        size=len(info["members"]),
+                        seq_len=info["seq_len"],
+                        energy_j=info["energy_j"],
+                    )
+                )
+                request_records.extend(
+                    RequestRecord(
+                        index=r.index,
+                        arrival_s=r.arrival_s,
+                        dispatch_s=info["dispatch_s"],
+                        completion_s=time,
+                        chip=chip,
+                        batch_index=batch_index,
+                        batch_size=len(info["members"]),
+                        seq_len=info["seq_len"],
+                        attempts=attempts.get(r.index, 0),
+                    )
+                    for r in info["members"]
+                )
+                outstanding -= len(info["members"])
+                loop.schedule(time, _DISPATCH)
+            elif kind == TIMEOUT:
+                if data[0] in queued:
+                    loop.schedule(time, _DISPATCH, data[0])
+            elif kind == _FAIL:
+                chip = data[0]
+                if outstanding == 0:
+                    continue  # traffic resolved: let the failure process die out
+                failed[chip] = True
+                chips.set_online(chip, False)
+                repaired_s = time + session.downtime_s(
+                    chip, self.fleet.reprogram_latency_s(chip)
+                )
+                lost = 0
+                wasted = 0.0
+                info = inflight[chip]
+                if info is not None:
+                    # the in-flight batch dies with the chip
+                    inflight[chip] = None
+                    chips.release(chip)
+                    lost = len(info["members"])
+                    service = info["completion_s"] - info["dispatch_s"]
+                    progress = (time - info["dispatch_s"]) / service if service > 0 else 1.0
+                    wasted = info["energy_j"] * progress
+                    for request in info["members"]:
+                        attempts[request.index] = attempts.get(request.index, 0) + 1
+                        attempt = attempts[request.index]
+                        if attempt >= retry.max_attempts:
+                            abandoned.append(
+                                DropRecord(
+                                    index=request.index,
+                                    time_s=time,
+                                    reason="retries_exhausted",
+                                    attempts=attempt,
+                                )
+                            )
+                            outstanding -= 1
+                            continue
+                        reenqueue_s = time + retry.backoff_s(
+                            attempt, session.jitter_rng if session else None
+                        )
+                        if deadline_on and reenqueue_s > retry.deadline_of(
+                            request.arrival_s
+                        ):
+                            # deadline-aware backoff: a retry that cannot
+                            # complete in time is abandoned, not queued
+                            abandoned.append(
+                                DropRecord(
+                                    index=request.index,
+                                    time_s=time,
+                                    reason="deadline",
+                                    attempts=attempt,
+                                )
+                            )
+                            outstanding -= 1
+                            continue
+                        retries.append(
+                            RetryRecord(
+                                index=request.index,
+                                attempt=attempt,
+                                failure_s=time,
+                                reenqueue_s=reenqueue_s,
+                            )
+                        )
+                        loop.schedule(reenqueue_s, ARRIVE, request)
+                failures.append(
+                    FailureRecord(
+                        chip=chip,
+                        fail_s=time,
+                        repaired_s=repaired_s,
+                        lost_requests=lost,
+                        wasted_energy_j=wasted,
+                    )
+                )
+                loop.schedule(repaired_s, _REPAIR, chip)
+            elif kind == _REPAIR:
+                chip = data[0]
+                failed[chip] = False
+                chips.set_online(chip, True)
+                if outstanding > 0:
+                    loop.schedule(time + session.time_to_failure_s(chip), _FAIL, chip)
+                    loop.schedule(time, _DISPATCH)
+            else:  # _DISPATCH
+                dispatch(time, force=bool(data) and data[0] in queued)
+
+        per_chip_busy = [0.0] * num_chips
+        for batch in batch_records:
+            per_chip_busy[batch.chip] += batch.service_s
+        return ServingReport(
+            num_chips=num_chips,
+            requests=tuple(request_records),
+            batches=tuple(batch_records),
+            chip_busy_s=tuple(per_chip_busy),
+            queue_peak=chips.queue_peak,
+            chip_idle_power_w=tuple(
+                self.fleet.idle_power_w(chip) for chip in range(num_chips)
+            ),
+            shed=tuple(shed),
+            abandoned=tuple(abandoned),
+            retries=tuple(retries),
+            failures=tuple(failures),
+            deadline_s=retry.deadline_s,
+            faults_enabled=True,
         )

@@ -15,6 +15,8 @@ __all__ = [
     "require_non_negative",
     "require_in_range",
     "require_power_of_two",
+    "require_finite",
+    "require_finite_array",
     "as_1d_float_array",
     "as_2d_float_array",
 ]
@@ -25,6 +27,29 @@ def require_positive(value: float, name: str) -> float:
     if not value > 0:
         raise ValueError(f"{name} must be positive, got {value}")
     return value
+
+
+def require_finite(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is a finite number.
+
+    Comparison-based checks silently pass NaN (every comparison against NaN
+    is false), so validators that gate on ``value < 0`` or ``value > 0``
+    need this companion to reject NaN/inf explicitly.
+    """
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    return value
+
+
+def require_finite_array(values: np.ndarray, name: str) -> np.ndarray:
+    """Raise ``ValueError`` naming the first offending index unless all finite."""
+    finite = np.isfinite(values)
+    if not finite.all():
+        index = int(np.argmin(finite))
+        raise ValueError(
+            f"{name} must be finite, got {values.flat[index]} at index {index}"
+        )
+    return values
 
 
 def require_non_negative(value: float, name: str) -> float:

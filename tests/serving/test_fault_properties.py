@@ -1,0 +1,202 @@
+"""Fault-injection invariants: the property suite of the failure machinery.
+
+Random traffic, fleets, failure processes and shedding policies drive the
+fault-aware simulator path, and the suite asserts the structural
+invariants any correct fault-tolerant serving system obeys: request
+conservation across the completed/shed/abandoned partition, no work on a
+failed chip, causal retries whose backoff respects the policy envelope,
+deadline-respecting dispatch, bounded queues, and Little's law on the
+traffic that survives.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import (
+    AdmissionController,
+    ChipFleet,
+    DynamicBatcher,
+    FaultInjector,
+    FixedServiceModel,
+    PoissonArrivals,
+    RetryPolicy,
+    ServingSimulator,
+)
+
+# a random fault-injected serving scenario: traffic, fleet, failure
+# process, retry policy and admission control all drawn together
+fault_scenarios = st.fixed_dictionaries(
+    {
+        "num_requests": st.integers(min_value=5, max_value=120),
+        "rate_rps": st.floats(min_value=100.0, max_value=5000.0),
+        "service_s": st.floats(min_value=1e-4, max_value=3e-3),
+        "num_chips": st.integers(min_value=1, max_value=4),
+        "max_batch": st.integers(min_value=1, max_value=8),
+        "max_wait_s": st.sampled_from([0.0, 1e-4, 2e-3]),
+        "mtbf_s": st.floats(min_value=2e-3, max_value=5e-2),
+        "detection_s": st.floats(min_value=0.0, max_value=2e-3),
+        "reprogram_s": st.floats(min_value=0.0, max_value=3e-3),
+        "max_attempts": st.integers(min_value=1, max_value=4),
+        "jitter": st.floats(min_value=0.0, max_value=0.5, exclude_max=False),
+        "deadline_s": st.none() | st.floats(min_value=5e-3, max_value=5e-2),
+        "max_queue_depth": st.none() | st.integers(min_value=1, max_value=64),
+        "degraded_max_batch": st.none() | st.integers(min_value=1, max_value=4),
+        "seed": st.integers(min_value=0, max_value=2**16),
+    }
+)
+
+
+def simulate(params):
+    requests = PoissonArrivals(
+        params["rate_rps"], seq_len=128, seed=params["seed"]
+    ).generate(params["num_requests"])
+    fleet = ChipFleet(
+        FixedServiceModel(
+            params["service_s"],
+            request_energy_j=1e-6,
+            reprogram_latency_s=params["reprogram_s"],
+        ),
+        num_chips=params["num_chips"],
+    )
+    batcher = DynamicBatcher(
+        max_batch_size=params["max_batch"], max_wait_s=params["max_wait_s"]
+    )
+    retry = RetryPolicy(
+        max_attempts=params["max_attempts"],
+        backoff_base_s=1e-4,
+        jitter=params["jitter"],
+        deadline_s=params["deadline_s"],
+    )
+    admission = AdmissionController(
+        max_queue_depth=params["max_queue_depth"],
+        shed_expired=params["deadline_s"] is not None,
+        degraded_max_batch=params["degraded_max_batch"],
+    )
+    faults = FaultInjector(
+        mtbf_s=params["mtbf_s"],
+        detection_s=params["detection_s"],
+        seed=params["seed"] + 1,
+    )
+    simulator = ServingSimulator(
+        fleet, batcher, faults=faults, retry=retry, admission=admission
+    )
+    return requests, retry, simulator.run(requests)
+
+
+class TestFaultProperties:
+    @given(fault_scenarios)
+    @settings(max_examples=60, deadline=None)
+    def test_request_conservation(self, params):
+        """completed + shed + abandoned partitions the offered requests."""
+        requests, _, report = simulate(params)
+        assert report.num_offered == len(requests)
+        resolved = sorted(
+            [r.index for r in report.requests]
+            + [d.index for d in report.shed]
+            + [d.index for d in report.abandoned]
+        )
+        assert resolved == sorted(r.index for r in requests)
+
+    @given(fault_scenarios)
+    @settings(max_examples=60, deadline=None)
+    def test_no_work_on_failed_chips(self, params):
+        """No surviving batch overlaps a failure window of its chip: work
+        dispatched into a window is killed, and dispatch never targets a
+        chip that is down."""
+        _, _, report = simulate(params)
+        windows: dict[int, list] = {}
+        for failure in report.failures:
+            windows.setdefault(failure.chip, []).append(failure)
+        for batch in report.batches:
+            for failure in windows.get(batch.chip, []):
+                assert (
+                    batch.completion_s <= failure.fail_s + 1e-12
+                    or batch.dispatch_s >= failure.repaired_s - 1e-12
+                )
+
+    @given(fault_scenarios)
+    @settings(max_examples=60, deadline=None)
+    def test_retry_causality_and_backoff_envelope(self, params):
+        """Retries re-enter after the failure, within the jitter envelope
+        of the policy's nominal backoff, and never past max_attempts."""
+        _, retry, report = simulate(params)
+        for record in report.retries:
+            assert 1 <= record.attempt < retry.max_attempts
+            nominal = retry.nominal_backoff_s(record.attempt)
+            low = nominal * (1.0 - retry.jitter)
+            high = nominal * (1.0 + retry.jitter)
+            assert record.reenqueue_s >= record.failure_s
+            assert low - 1e-15 <= record.backoff_s <= high + 1e-15
+
+    @given(fault_scenarios)
+    @settings(max_examples=60, deadline=None)
+    def test_deadline_and_queue_bounds(self, params):
+        """Deadline shedding never dispatches expired work; a bounded
+        queue never exceeds its depth; abandonment respects the policy."""
+        _, retry, report = simulate(params)
+        if retry.deadline_s is not None:
+            for record in report.requests:
+                assert record.dispatch_s <= record.arrival_s + retry.deadline_s + 1e-12
+        if params["max_queue_depth"] is not None:
+            assert report.queue_peak <= params["max_queue_depth"]
+        for drop in report.abandoned:
+            assert drop.reason in ("retries_exhausted", "deadline")
+            assert drop.attempts >= 1
+            if drop.reason == "retries_exhausted":
+                assert drop.attempts == retry.max_attempts
+
+    @given(fault_scenarios)
+    @settings(max_examples=60, deadline=None)
+    def test_failure_ledger_consistency(self, params):
+        """Failure windows are positive, per-chip windows never overlap,
+        and lost-batch accounting matches the retry/abandon records."""
+        _, _, report = simulate(params)
+        by_chip: dict[int, list] = {}
+        for failure in report.failures:
+            assert failure.repaired_s >= failure.fail_s
+            assert failure.lost_requests >= 0
+            assert failure.wasted_energy_j >= 0.0
+            by_chip.setdefault(failure.chip, []).append(failure)
+        for failures in by_chip.values():
+            failures.sort(key=lambda f: f.fail_s)
+            for earlier, later in zip(failures, failures[1:]):
+                assert later.fail_s >= earlier.repaired_s - 1e-12
+        # every lost request either retried or was abandoned at that instant
+        lost_total = sum(f.lost_requests for f in report.failures)
+        assert lost_total == len(report.retries) + len(report.abandoned)
+
+    def test_littles_law_on_surviving_traffic(self):
+        """Sample-path Little's law holds for the completed population."""
+        service = 1e-3
+        rate = 0.6 / service
+        requests = PoissonArrivals(rate, seed=11).generate(20000)
+        fleet = ChipFleet(
+            FixedServiceModel(service, reprogram_latency_s=2e-3), num_chips=2
+        )
+        faults = FaultInjector(mtbf_s=0.5, detection_s=5e-3, seed=3)
+        retry = RetryPolicy(max_attempts=4, backoff_base_s=1e-3)
+        report = ServingSimulator(
+            fleet, DynamicBatcher(max_batch_size=4, max_wait_s=1e-3),
+            faults=faults, retry=retry,
+        ).run(requests)
+        assert report.num_failures > 0  # the run actually exercised faults
+        events = []
+        for r in report.requests:
+            events.append((r.arrival_s, +1))
+            events.append((r.completion_s, -1))
+        events.sort()
+        t0 = events[0][0]
+        occupancy_integral, level, prev = 0.0, 0, t0
+        for time, delta in events:
+            occupancy_integral += level * (time - prev)
+            level += delta
+            prev = time
+        window = prev - t0
+        completed_rate = len(report.requests) / window
+        mean_in_system = occupancy_integral / window
+        assert mean_in_system == pytest.approx(
+            completed_rate * report.mean_latency_s, rel=0.05
+        )

@@ -9,8 +9,8 @@ from repro.experiments.__main__ import main as cli_main
 
 
 class TestRunner:
-    def test_all_ten_experiments_registered(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 11)}
+    def test_all_eleven_experiments_registered(self):
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 12)}
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
@@ -38,6 +38,13 @@ class TestRunner:
         assert "fleet capacity" in report
         assert "M/D/1 check" in report
         assert "p50" in report and "p99" in report
+
+    def test_e11_report_shows_graceful_degradation(self):
+        report = run_experiment("e11")
+        assert "Fault-injected serving" in report
+        assert "baseline (no faults)" in report
+        assert "shed goodput" in report and "queue goodput" in report
+        assert "avail" in report
 
     def test_case_insensitive_ids(self):
         assert run_experiment("E2") == run_experiment("e2")
