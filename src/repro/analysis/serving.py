@@ -14,18 +14,34 @@ steady-state capacity loss with two control policies per point — graceful
 degradation (deadline shedding, bounded queue, degraded batch cap) versus
 the unprotected queue — against the fault-free baseline, so the report
 shows directly what admission control buys when hardware misbehaves.
+
+:class:`ShardedScalingAnalyzer` measures the multi-process scale-out
+(:mod:`repro.serving.sharded`): wall-clock throughput of the same
+workload at growing shard counts, with parallel efficiency against the
+one-shard run.  Its table is wall-clock (machine-dependent), so it backs
+the README scaling table and the ``examples/sharded_serving.py`` demo but
+is deliberately not a golden experiment.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import time
 from dataclasses import dataclass
 
 from repro.serving.arrivals import PoissonArrivals
 from repro.serving.batcher import NO_BATCHING, DynamicBatcher
 from repro.serving.faults import AdmissionController, FaultInjector, RetryPolicy
-from repro.serving.fleet import ChipFleet, LinearServiceModel, ServiceModel, StarServiceModel
+from repro.serving.fleet import (
+    ChipFleet,
+    FixedServiceModel,
+    LinearServiceModel,
+    ServiceModel,
+    StarServiceModel,
+)
 from repro.serving.report import ServingReport
+from repro.serving.sharded import ShardedServingSimulator
 from repro.serving.simulator import ServingSimulator
 from repro.serving.theory import MD1Queue
 from repro.utils.stats import relative_error
@@ -39,6 +55,8 @@ __all__ = [
     "ServingAnalyzer",
     "FaultSweepRow",
     "FaultServingAnalyzer",
+    "ShardScalingRow",
+    "ShardedScalingAnalyzer",
 ]
 
 
@@ -522,5 +540,113 @@ class FaultServingAnalyzer:
                 f"{shed.fleet_availability * 100:>5.1f}% | "
                 f"{queue.goodput_rps:>13.1f} {queue.p99_latency_s * 1e3:>8.2f} "
                 f"{queue.queue_peak:>6d}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ShardScalingRow:
+    """One shard count of the scale-out measurement."""
+
+    num_shards: int
+    wall_s: float
+    baseline_wall_s: float
+    report: ServingReport
+
+    @property
+    def simulated_rps(self) -> float:
+        """Completed requests per wall-clock second of simulation."""
+        return self.report.num_requests / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock speedup over the one-shard run of the same workload."""
+        return self.baseline_wall_s / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per shard (1.0 = perfect linear scaling)."""
+        return self.speedup / self.num_shards
+
+
+class ShardedScalingAnalyzer:
+    """Wall-clock scaling of the sharded simulator over shard counts.
+
+    Holds the *per-chip* load fixed while growing the fleet with the shard
+    count (``chips_per_shard`` chips and ``rate_per_chip`` offered load
+    per shard), so every shard simulates the same amount of work and the
+    measurement isolates parallel overhead.  Results are wall-clock and
+    machine-dependent — this analyzer backs the README scaling table and
+    the demo, not a golden report.
+    """
+
+    def __init__(
+        self,
+        service_model: ServiceModel | None = None,
+        chips_per_shard: int = 1,
+        load_factor: float = 0.7,
+        num_requests: int = 100_000,
+        seq_len: int = 128,
+        seed: int = 0,
+    ) -> None:
+        require_positive(chips_per_shard, "chips_per_shard")
+        require_positive(load_factor, "load_factor")
+        require_positive(num_requests, "num_requests")
+        self.service_model = service_model or FixedServiceModel(1e-3, request_energy_j=1e-4)
+        self.chips_per_shard = chips_per_shard
+        self.load_factor = load_factor
+        self.num_requests = num_requests
+        self.seq_len = seq_len
+        self.seed = seed
+
+    def _arrivals(self, num_shards: int) -> PoissonArrivals:
+        per_chip = self.load_factor / self.service_model.batch_latency_s(1, self.seq_len)
+        rate = per_chip * self.chips_per_shard * num_shards
+        return PoissonArrivals(rate, seq_len=self.seq_len, seed=self.seed)
+
+    def row_for(
+        self, num_shards: int, baseline_wall_s: float | None = None
+    ) -> ShardScalingRow:
+        """Measure one shard count (``baseline_wall_s`` from the 1-shard row)."""
+        require_positive(num_shards, "num_shards")
+        fleet = ChipFleet(self.service_model, num_chips=num_shards * self.chips_per_shard)
+        simulator = ShardedServingSimulator(
+            fleet, num_shards=num_shards, parallel=num_shards > 1
+        )
+        start = time.perf_counter()
+        report = simulator.run_poisson(self._arrivals(num_shards), self.num_requests)
+        wall = time.perf_counter() - start
+        return ShardScalingRow(
+            num_shards=num_shards,
+            wall_s=wall,
+            baseline_wall_s=wall if baseline_wall_s is None else baseline_wall_s,
+            report=report,
+        )
+
+    def sweep_rows(
+        self, shard_counts: tuple[int, ...] = (1, 2, 4, 8)
+    ) -> list[ShardScalingRow]:
+        """The scaling curve, anchored at the first (baseline) count."""
+        rows: list[ShardScalingRow] = []
+        for count in shard_counts:
+            baseline = rows[0].wall_s if rows else None
+            rows.append(self.row_for(count, baseline_wall_s=baseline))
+        return rows
+
+    def format_table(self, shard_counts: tuple[int, ...] = (1, 2, 4, 8)) -> str:
+        """Printable scaling table (wall-clock; machine-dependent)."""
+        lines = [
+            f"machine: {os.cpu_count()} CPU(s); "
+            f"{self.num_requests} requests per point, "
+            f"{self.chips_per_shard} chip(s)/shard at load {self.load_factor:.2f}",
+            f"{'shards':>7} {'wall (s)':>9} {'sim req/s':>10} {'speedup':>8} "
+            f"{'efficiency':>11} {'p50 (ms)':>9} {'p99 (ms)':>9}",
+        ]
+        for row in self.sweep_rows(shard_counts):
+            lines.append(
+                f"{row.num_shards:>7d} {row.wall_s:>9.2f} {row.simulated_rps:>10.0f} "
+                f"{row.speedup:>8.2f} {row.efficiency:>11.2f} "
+                f"{row.report.p50_latency_s * 1e3:>9.3f} "
+                f"{row.report.p99_latency_s * 1e3:>9.3f}"
             )
         return "\n".join(lines)

@@ -23,6 +23,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect serving-simulator hot-path counters (events, dispatch "
+        "sweeps, wall time) and print the profile table after the reports",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -31,12 +37,23 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{experiment_id}: {doc}")
         return 0
 
+    if args.profile:
+        from repro.serving.profiling import PROFILER
+
+        PROFILER.enabled = True
+        PROFILER.clear()
+
     try:
         print(run_all(args.experiments or None))
     except KeyError as error:
         # argparse-style exit(2) with the message itself, not KeyError's
         # quoted repr of it
         parser.error(error.args[0])
+
+    if args.profile:
+        print()
+        print("== serving profile " + "=" * 41)
+        print(PROFILER.format_table())
     return 0
 
 

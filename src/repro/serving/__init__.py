@@ -6,20 +6,27 @@ tail-latency/energy-per-query reporting.  This package assembles those
 layers on the shared discrete-event core (:mod:`repro.core.events`):
 
 * :mod:`~repro.serving.arrivals` — open-loop Poisson and trace-driven
-  request streams;
+  request streams (vectorized generation, exact Poisson shard splitting);
 * :mod:`~repro.serving.batcher` — the max-size + timeout dynamic batcher;
 * :mod:`~repro.serving.fleet` — single- and multi-chip fleets priced by a
   service model (the STAR accelerator's batch-aware whole-model request
-  timing, its linearized baseline, or a fixed-service stand-in for theory
-  checks), with per-chip heterogeneity and shared bounded pricing caches;
+  timing, its linearized baseline, a fixed-service stand-in for theory
+  checks, or a pre-priced timing table shipped to worker processes), with
+  per-chip heterogeneity and shared bounded pricing caches;
 * :mod:`~repro.serving.simulator` — the event-driven simulation itself;
+* :mod:`~repro.serving.sharded` — the multi-process scale-out: partition
+  fleet and traffic across worker-process shards and merge the reports;
 * :mod:`~repro.serving.faults` — per-chip MTBF/MTTR failure–repair
   processes (repair priced as full-model operand reprogramming), retry
   policies with deadline-aware backoff, and admission control / load
   shedding for graceful degradation;
 * :mod:`~repro.serving.report` — throughput / p50-p95-p99 latency / queue
-  / utilization / energy-per-query reporting, plus the availability
-  ledger of fault-injected runs;
+  / utilization / energy-per-query reporting on columnar array-backed
+  record tables, mergeable across shards, plus the availability ledger of
+  fault-injected runs;
+* :mod:`~repro.serving.profiling` — first-party hot-path counters
+  (events, dispatch sweeps, wall time) behind the experiments CLI's
+  ``--profile`` flag;
 * :mod:`~repro.serving.theory` — M/D/1 (and M/M/1) closed forms the
   simulator is cross-validated against.
 """
@@ -40,15 +47,20 @@ from repro.serving.fleet import (
     PricingCache,
     ServiceModel,
     StarServiceModel,
+    TabulatedServiceModel,
 )
+from repro.serving.profiling import PROFILER, Profiler, RunProfile
 from repro.serving.report import (
     BatchRecord,
+    BatchTable,
     DropRecord,
     FailureRecord,
     RequestRecord,
+    RequestTable,
     RetryRecord,
     ServingReport,
 )
+from repro.serving.sharded import SPLIT_POLICIES, ShardedServingSimulator
 from repro.serving.simulator import ServingSimulator
 from repro.serving.theory import MD1Queue, MM1Queue
 
@@ -62,9 +74,12 @@ __all__ = [
     "FixedServiceModel",
     "StarServiceModel",
     "LinearServiceModel",
+    "TabulatedServiceModel",
     "PricingCache",
     "ChipFleet",
     "ServingSimulator",
+    "ShardedServingSimulator",
+    "SPLIT_POLICIES",
     "FaultInjector",
     "FaultSession",
     "RetryPolicy",
@@ -72,10 +87,15 @@ __all__ = [
     "NO_ADMISSION",
     "RequestRecord",
     "BatchRecord",
+    "RequestTable",
+    "BatchTable",
     "DropRecord",
     "RetryRecord",
     "FailureRecord",
     "ServingReport",
+    "Profiler",
+    "RunProfile",
+    "PROFILER",
     "MD1Queue",
     "MM1Queue",
 ]

@@ -176,7 +176,12 @@ class FaultSession:
     def __init__(self, injector: "FaultInjector", num_chips: int) -> None:
         require_positive(num_chips, "num_chips")
         self.injector = injector
-        children = np.random.SeedSequence(injector.seed).spawn(num_chips + 1)
+        root = (
+            injector.seed
+            if isinstance(injector.seed, np.random.SeedSequence)
+            else np.random.SeedSequence(injector.seed)
+        )
+        children = root.spawn(num_chips + 1)
         self._chip_rngs = [np.random.default_rng(seq) for seq in children[:num_chips]]
         self.jitter_rng = np.random.default_rng(children[num_chips])
 
@@ -215,7 +220,9 @@ class FaultInjector:
         maintenance event; a float forces a fixed duration (synthetic
         service models that price no reprogramming).
     seed:
-        Seed of the per-chip failure streams and the retry-jitter stream.
+        Seed of the per-chip failure streams and the retry-jitter stream —
+        an integer, or a :class:`numpy.random.SeedSequence` (how the
+        sharded simulator hands each shard an independent fault tree).
 
     ``steady_state_availability`` gives the long-run healthy fraction of
     one chip under a given repair duration — the knob the e11 sweep turns
@@ -225,7 +232,7 @@ class FaultInjector:
     mtbf_s: float
     detection_s: float = 0.0
     repair_s: float | None = None
-    seed: int = 0
+    seed: int | np.random.SeedSequence = 0
 
     def __post_init__(self) -> None:
         require_finite(self.mtbf_s, "mtbf_s")

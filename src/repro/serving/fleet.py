@@ -43,6 +43,7 @@ __all__ = [
     "FixedServiceModel",
     "StarServiceModel",
     "LinearServiceModel",
+    "TabulatedServiceModel",
     "PricingCache",
     "ChipFleet",
 ]
@@ -264,6 +265,83 @@ class LinearServiceModel:
         return batch_size * self.base.batch_energy_j(1, seq_len)
 
 
+class TabulatedServiceModel:
+    """A service model frozen into a plain ``(batch, seq_len) -> cost`` table.
+
+    Built by :meth:`tabulate` from any other service model: every shape the
+    batcher can dispatch is priced once, up front, into a dictionary of
+    ``(batch_size, seq_len) -> (latency_s, energy_j)``.  The result is
+    self-contained and cheap to pickle — no accelerator object, no cache —
+    which is exactly what the sharded simulator ships to worker processes
+    so no shard ever re-prices the workload.  Lookups of shapes outside
+    the table raise ``KeyError`` loudly rather than silently re-pricing.
+    """
+
+    def __init__(
+        self,
+        table: dict[tuple[int, int], tuple[float, float]],
+        idle_power_w: float = 0.0,
+        reprogram_latency_s: float = 0.0,
+    ) -> None:
+        if not table:
+            raise ValueError("a tabulated service model needs at least one entry")
+        self.table = dict(table)
+        self.idle_power_w = float(idle_power_w)
+        self.reprogram_latency_s = float(reprogram_latency_s)
+        require_non_negative(self.idle_power_w, "idle_power_w")
+        require_non_negative(self.reprogram_latency_s, "reprogram_latency_s")
+
+    @classmethod
+    def tabulate(
+        cls,
+        model: ServiceModel,
+        batch_sizes: Sequence[int],
+        seq_lens: Sequence[int],
+    ) -> "TabulatedServiceModel":
+        """Price every ``batch x seq_len`` shape of ``model`` into a table.
+
+        ``batch_sizes`` should cover ``1 .. max_batch_size`` of the batcher
+        in use and ``seq_lens`` every padded length the workload can
+        produce; a dispatch outside the table fails loudly.
+        """
+        batch_sizes = sorted({int(b) for b in batch_sizes})
+        seq_lens = sorted({int(s) for s in seq_lens})
+        if not batch_sizes or not seq_lens:
+            raise ValueError("batch_sizes and seq_lens must not be empty")
+        for batch in batch_sizes:
+            require_positive(batch, "batch size")
+        for seq_len in seq_lens:
+            require_positive(seq_len, "seq_len")
+        table = {
+            (batch, seq_len): (
+                model.batch_latency_s(batch, seq_len),
+                model.batch_energy_j(batch, seq_len),
+            )
+            for batch in batch_sizes
+            for seq_len in seq_lens
+        }
+        return cls(
+            table,
+            idle_power_w=getattr(model, "idle_power_w", 0.0),
+            reprogram_latency_s=getattr(model, "reprogram_latency_s", 0.0),
+        )
+
+    def _entry(self, batch_size: int, seq_len: int) -> tuple[float, float]:
+        try:
+            return self.table[(batch_size, seq_len)]
+        except KeyError:
+            raise KeyError(
+                f"shape (batch={batch_size}, seq_len={seq_len}) was not "
+                f"tabulated; extend the batch_sizes/seq_lens grid"
+            ) from None
+
+    def batch_latency_s(self, batch_size: int, seq_len: int) -> float:
+        return self._entry(batch_size, seq_len)[0]
+
+    def batch_energy_j(self, batch_size: int, seq_len: int) -> float:
+        return self._entry(batch_size, seq_len)[1]
+
+
 class ChipFleet:
     """``num_chips`` chips sharing one dispatch queue.
 
@@ -334,3 +412,29 @@ class ChipFleet:
         return (
             getattr(self.models[chip], "reprogram_latency_s", 0.0) / self.speedups[chip]
         )
+
+    def tabulated(
+        self, batch_sizes: Sequence[int], seq_lens: Sequence[int]
+    ) -> "ChipFleet":
+        """This fleet with every chip's pricing frozen into plain tables.
+
+        Pre-warms the workload's whole shape grid once in the calling
+        process and returns a fleet of :class:`TabulatedServiceModel`
+        chips — compactly picklable, so the sharded simulator can compute
+        timings in the parent and ship them to every worker.  Chips
+        sharing one model object share one table (a homogeneous fleet
+        prices the grid exactly once); speedups are preserved (the fleet
+        applies them outside the model).
+        """
+        tables: dict[int, TabulatedServiceModel] = {}
+        models: list[TabulatedServiceModel] = []
+        for model in self.models:
+            if isinstance(model, TabulatedServiceModel):
+                models.append(model)
+                continue
+            cached = tables.get(id(model))
+            if cached is None:
+                cached = TabulatedServiceModel.tabulate(model, batch_sizes, seq_lens)
+                tables[id(model)] = cached
+            models.append(cached)
+        return ChipFleet(service_models=tuple(models), speedups=self.speedups)

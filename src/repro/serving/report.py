@@ -7,6 +7,22 @@ utilization, batching efficacy and energy per query — plus the raw
 per-request and per-batch records the property tests and Little's-law
 cross-checks consume.
 
+Storage is *columnar*: per-request and per-batch data live in parallel
+numpy arrays (:class:`RequestTable`, :class:`BatchTable`), not tuples of
+Python record objects, so million-request reports summarize in
+vectorized time, pickle compactly across process boundaries, and merge
+cheaply.  The record dataclasses (:class:`RequestRecord`,
+:class:`BatchRecord`) survive as lazy views — iterating or indexing a
+table materializes them on demand — so every existing consumer keeps
+working unchanged.
+
+:meth:`ServingReport.merge` folds the per-shard reports of a sharded run
+into one fleet-wide report: latency samples pooled exactly (full sample
+concatenation, so merged percentiles equal percentiles of the pooled
+samples), energy/drop/retry/failure ledgers summed, per-chip utilization
+concatenated with shard-local chip ids offset into one fleet-wide
+numbering.
+
 Fault-injected runs (:mod:`repro.serving.faults`) extend the report with
 an availability ledger: chip failures and their downtime, retries, shed
 and abandoned requests, goodput against offered traffic, and the wasted
@@ -16,7 +32,8 @@ so healthy-path reports are bit-identical to the pre-fault format.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -25,6 +42,8 @@ from repro.utils.stats import percentile
 __all__ = [
     "RequestRecord",
     "BatchRecord",
+    "RequestTable",
+    "BatchTable",
     "DropRecord",
     "RetryRecord",
     "FailureRecord",
@@ -32,7 +51,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestRecord:
     """Timestamps of one request's trip through the serving system.
 
@@ -61,7 +80,7 @@ class RequestRecord:
         return self.completion_s - self.arrival_s
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchRecord:
     """One dispatched batch and what serving it cost."""
 
@@ -76,6 +95,207 @@ class BatchRecord:
     @property
     def service_s(self) -> float:
         """Chip occupancy of the batch."""
+        return self.completion_s - self.dispatch_s
+
+
+def _column(values, dtype) -> np.ndarray:
+    arr = np.asarray(values, dtype=dtype)
+    return np.atleast_1d(arr)
+
+
+class RequestTable:
+    """Columnar store of completed-request records.
+
+    One numpy array per :class:`RequestRecord` field, all the same length.
+    Iterating or indexing materializes :class:`RequestRecord` views for
+    compatibility with record-at-a-time consumers; bulk consumers use the
+    column arrays directly.
+    """
+
+    __slots__ = (
+        "index",
+        "arrival_s",
+        "dispatch_s",
+        "completion_s",
+        "chip",
+        "batch_index",
+        "batch_size",
+        "seq_len",
+        "attempts",
+    )
+
+    def __init__(
+        self,
+        index,
+        arrival_s,
+        dispatch_s,
+        completion_s,
+        chip,
+        batch_index,
+        batch_size,
+        seq_len,
+        attempts,
+    ) -> None:
+        self.index = _column(index, np.int64)
+        self.arrival_s = _column(arrival_s, np.float64)
+        self.dispatch_s = _column(dispatch_s, np.float64)
+        self.completion_s = _column(completion_s, np.float64)
+        self.chip = _column(chip, np.int64)
+        self.batch_index = _column(batch_index, np.int64)
+        self.batch_size = _column(batch_size, np.int64)
+        self.seq_len = _column(seq_len, np.int64)
+        self.attempts = _column(attempts, np.int64)
+        length = self.index.size
+        for name in self.__slots__:
+            if getattr(self, name).size != length:
+                raise ValueError(
+                    f"request column {name!r} has {getattr(self, name).size} "
+                    f"entries for {length} requests"
+                )
+
+    @classmethod
+    def empty(cls) -> "RequestTable":
+        return cls(*[[] for _ in cls.__slots__])
+
+    @classmethod
+    def from_records(cls, records: Iterable[RequestRecord]) -> "RequestTable":
+        records = list(records)
+        return cls(
+            [r.index for r in records],
+            [r.arrival_s for r in records],
+            [r.dispatch_s for r in records],
+            [r.completion_s for r in records],
+            [r.chip for r in records],
+            [r.batch_index for r in records],
+            [r.batch_size for r in records],
+            [r.seq_len for r in records],
+            [r.attempts for r in records],
+        )
+
+    @classmethod
+    def concatenate(cls, tables: Sequence["RequestTable"]) -> "RequestTable":
+        return cls(
+            *[
+                np.concatenate([getattr(t, name) for t in tables])
+                for name in cls.__slots__
+            ]
+        )
+
+    def __len__(self) -> int:
+        return self.index.size
+
+    def __getitem__(self, i: int) -> RequestRecord:
+        return RequestRecord(
+            index=int(self.index[i]),
+            arrival_s=float(self.arrival_s[i]),
+            dispatch_s=float(self.dispatch_s[i]),
+            completion_s=float(self.completion_s[i]),
+            chip=int(self.chip[i]),
+            batch_index=int(self.batch_index[i]),
+            batch_size=int(self.batch_size[i]),
+            seq_len=int(self.seq_len[i]),
+            attempts=int(self.attempts[i]),
+        )
+
+    def __iter__(self) -> Iterator[RequestRecord]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RequestTable):
+            return NotImplemented
+        return all(
+            np.array_equal(getattr(self, name), getattr(other, name))
+            for name in self.__slots__
+        )
+
+    @property
+    def latency_s(self) -> np.ndarray:
+        """End-to-end latencies, one per completed request."""
+        return self.completion_s - self.arrival_s
+
+    @property
+    def wait_s(self) -> np.ndarray:
+        """Queueing delays before dispatch, one per completed request."""
+        return self.dispatch_s - self.arrival_s
+
+
+class BatchTable:
+    """Columnar store of dispatched-batch records (see :class:`RequestTable`)."""
+
+    __slots__ = ("index", "chip", "dispatch_s", "completion_s", "size", "seq_len", "energy_j")
+
+    def __init__(self, index, chip, dispatch_s, completion_s, size, seq_len, energy_j) -> None:
+        self.index = _column(index, np.int64)
+        self.chip = _column(chip, np.int64)
+        self.dispatch_s = _column(dispatch_s, np.float64)
+        self.completion_s = _column(completion_s, np.float64)
+        self.size = _column(size, np.int64)
+        self.seq_len = _column(seq_len, np.int64)
+        self.energy_j = _column(energy_j, np.float64)
+        length = self.index.size
+        for name in self.__slots__:
+            if getattr(self, name).size != length:
+                raise ValueError(
+                    f"batch column {name!r} has {getattr(self, name).size} "
+                    f"entries for {length} batches"
+                )
+
+    @classmethod
+    def empty(cls) -> "BatchTable":
+        return cls(*[[] for _ in cls.__slots__])
+
+    @classmethod
+    def from_records(cls, records: Iterable[BatchRecord]) -> "BatchTable":
+        records = list(records)
+        return cls(
+            [b.index for b in records],
+            [b.chip for b in records],
+            [b.dispatch_s for b in records],
+            [b.completion_s for b in records],
+            [b.size for b in records],
+            [b.seq_len for b in records],
+            [b.energy_j for b in records],
+        )
+
+    @classmethod
+    def concatenate(cls, tables: Sequence["BatchTable"]) -> "BatchTable":
+        return cls(
+            *[
+                np.concatenate([getattr(t, name) for t in tables])
+                for name in cls.__slots__
+            ]
+        )
+
+    def __len__(self) -> int:
+        return self.index.size
+
+    def __getitem__(self, i: int) -> BatchRecord:
+        return BatchRecord(
+            index=int(self.index[i]),
+            chip=int(self.chip[i]),
+            dispatch_s=float(self.dispatch_s[i]),
+            completion_s=float(self.completion_s[i]),
+            size=int(self.size[i]),
+            seq_len=int(self.seq_len[i]),
+            energy_j=float(self.energy_j[i]),
+        )
+
+    def __iter__(self) -> Iterator[BatchRecord]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BatchTable):
+            return NotImplemented
+        return all(
+            np.array_equal(getattr(self, name), getattr(other, name))
+            for name in self.__slots__
+        )
+
+    @property
+    def service_s(self) -> np.ndarray:
+        """Chip occupancy per batch."""
         return self.completion_s - self.dispatch_s
 
 
@@ -142,9 +362,25 @@ class FailureRecord:
         return self.repaired_s - self.fail_s
 
 
-@dataclass(frozen=True)
+def _as_request_table(requests) -> RequestTable:
+    if isinstance(requests, RequestTable):
+        return requests
+    return RequestTable.from_records(requests)
+
+
+def _as_batch_table(batches) -> BatchTable:
+    if isinstance(batches, BatchTable):
+        return batches
+    return BatchTable.from_records(batches)
+
+
+@dataclass(frozen=True, eq=False)
 class ServingReport:
     """Result of one serving simulation run.
+
+    ``requests`` and ``batches`` accept either columnar tables or
+    iterables of record objects (converted on construction); they are
+    always stored as :class:`RequestTable` / :class:`BatchTable`.
 
     ``chip_idle_power_w`` is each chip's standby power; the report charges
     it over the chip's un-occupied share of the makespan, so
@@ -155,8 +391,8 @@ class ServingReport:
     """
 
     num_chips: int
-    requests: tuple[RequestRecord, ...]
-    batches: tuple[BatchRecord, ...]
+    requests: RequestTable
+    batches: BatchTable
     chip_busy_s: tuple[float, ...]
     queue_peak: int
     chip_idle_power_w: tuple[float, ...] = ()
@@ -166,6 +402,93 @@ class ServingReport:
     failures: tuple[FailureRecord, ...] = ()
     deadline_s: float | None = None
     faults_enabled: bool = False
+    num_shards: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", _as_request_table(self.requests))
+        object.__setattr__(self, "batches", _as_batch_table(self.batches))
+
+    # ------------------------------------------------------------------ #
+    # merging (sharded runs)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def merge(cls, reports: Sequence["ServingReport"]) -> "ServingReport":
+        """Fold per-shard reports into one fleet-wide report.
+
+        Shard-local chip ids are offset into one fleet-wide numbering (in
+        the given order), batch indices likewise, latency samples are
+        pooled exactly (merged percentiles equal percentiles over the
+        union of samples), and the energy/drop/retry/failure ledgers
+        concatenate.  ``queue_peak`` is the largest *per-shard* peak —
+        shards queue independently, so no fleet-wide simultaneous depth
+        exists to report.  All shards must agree on ``deadline_s``.
+        """
+        reports = list(reports)
+        if not reports:
+            raise ValueError("cannot merge an empty sequence of reports")
+        if len(reports) == 1:
+            return replace(reports[0])
+        deadlines = {r.deadline_s for r in reports}
+        if len(deadlines) > 1:
+            raise ValueError(
+                f"cannot merge reports with differing deadlines: {sorted(deadlines, key=str)}"
+            )
+        request_tables: list[RequestTable] = []
+        batch_tables: list[BatchTable] = []
+        failures: list[FailureRecord] = []
+        chip_offset = 0
+        batch_offset = 0
+        for report in reports:
+            requests = report.requests
+            batches = report.batches
+            request_tables.append(
+                RequestTable(
+                    requests.index,
+                    requests.arrival_s,
+                    requests.dispatch_s,
+                    requests.completion_s,
+                    requests.chip + chip_offset,
+                    requests.batch_index + batch_offset,
+                    requests.batch_size,
+                    requests.seq_len,
+                    requests.attempts,
+                )
+            )
+            batch_tables.append(
+                BatchTable(
+                    batches.index + batch_offset,
+                    batches.chip + chip_offset,
+                    batches.dispatch_s,
+                    batches.completion_s,
+                    batches.size,
+                    batches.seq_len,
+                    batches.energy_j,
+                )
+            )
+            failures.extend(
+                replace(f, chip=f.chip + chip_offset) for f in report.failures
+            )
+            chip_offset += report.num_chips
+            batch_offset += len(batches)
+        return cls(
+            num_chips=chip_offset,
+            requests=RequestTable.concatenate(request_tables),
+            batches=BatchTable.concatenate(batch_tables),
+            chip_busy_s=tuple(
+                busy for report in reports for busy in report.chip_busy_s
+            ),
+            queue_peak=max(r.queue_peak for r in reports),
+            chip_idle_power_w=tuple(
+                power for report in reports for power in report.chip_idle_power_w
+            ),
+            shed=tuple(drop for r in reports for drop in r.shed),
+            abandoned=tuple(drop for r in reports for drop in r.abandoned),
+            retries=tuple(retry for r in reports for retry in r.retries),
+            failures=tuple(failures),
+            deadline_s=reports[0].deadline_s,
+            faults_enabled=any(r.faults_enabled for r in reports),
+            num_shards=sum(r.num_shards for r in reports),
+        )
 
     # ------------------------------------------------------------------ #
     # volume and rates
@@ -178,20 +501,18 @@ class ServingReport:
     @property
     def makespan_s(self) -> float:
         """First arrival to last completion."""
-        if not self.requests:
+        if not len(self.requests):
             return 0.0
-        start = min(r.arrival_s for r in self.requests)
-        end = max(r.completion_s for r in self.requests)
-        return end - start
+        return float(self.requests.completion_s.max() - self.requests.arrival_s.min())
 
     @property
     def offered_rate_rps(self) -> float:
         """Mean arrival rate observed over the run."""
         if len(self.requests) < 2:
             return 0.0
-        arrivals = sorted(r.arrival_s for r in self.requests)
-        span = arrivals[-1] - arrivals[0]
-        return (len(arrivals) - 1) / span if span > 0 else float("inf")
+        arrivals = self.requests.arrival_s
+        span = float(arrivals.max() - arrivals.min())
+        return (len(self.requests) - 1) / span if span > 0 else float("inf")
 
     @property
     def throughput_rps(self) -> float:
@@ -208,9 +529,9 @@ class ServingReport:
         Computed over *completed* requests — under load shedding this is
         the completion-conditional percentile (NaN with no completions).
         """
-        if not self.requests:
+        if not len(self.requests):
             return float("nan")
-        return float(percentile([r.latency_s for r in self.requests], q))
+        return float(percentile(self.requests.latency_s, q))
 
     @property
     def p50_latency_s(self) -> float:
@@ -230,16 +551,16 @@ class ServingReport:
     @property
     def mean_latency_s(self) -> float:
         """Mean end-to-end latency (completed requests; NaN with none)."""
-        if not self.requests:
+        if not len(self.requests):
             return float("nan")
-        return float(np.mean([r.latency_s for r in self.requests]))
+        return float(np.mean(self.requests.latency_s))
 
     @property
     def mean_wait_s(self) -> float:
         """Mean queueing delay before dispatch (completed requests)."""
-        if not self.requests:
+        if not len(self.requests):
             return float("nan")
-        return float(np.mean([r.wait_s for r in self.requests]))
+        return float(np.mean(self.requests.wait_s))
 
     @property
     def mean_queue_depth(self) -> float:
@@ -251,7 +572,7 @@ class ServingReport:
         span = self.makespan_s
         if span <= 0:
             return 0.0
-        return sum(r.wait_s for r in self.requests) / span
+        return float(np.sum(self.requests.wait_s)) / span
 
     @property
     def mean_in_system(self) -> float:
@@ -259,7 +580,7 @@ class ServingReport:
         span = self.makespan_s
         if span <= 0:
             return 0.0
-        return sum(r.latency_s for r in self.requests) / span
+        return float(np.sum(self.requests.latency_s)) / span
 
     # ------------------------------------------------------------------ #
     # batching, occupancy and energy
@@ -272,7 +593,7 @@ class ServingReport:
     @property
     def mean_batch_size(self) -> float:
         """Mean requests per dispatched batch."""
-        if not self.batches:
+        if not len(self.batches):
             return 0.0
         return self.num_requests / self.num_batches
 
@@ -292,7 +613,7 @@ class ServingReport:
     @property
     def energy_j(self) -> float:
         """Total active energy spent serving all batches."""
-        return sum(batch.energy_j for batch in self.batches)
+        return float(np.sum(self.batches.energy_j))
 
     @property
     def idle_energy_j(self) -> float:
@@ -322,7 +643,7 @@ class ServingReport:
     @property
     def active_energy_per_query_j(self) -> float:
         """Active-only energy per completed request (the pre-idle-power figure)."""
-        if not self.requests:
+        if not len(self.requests):
             return 0.0
         return self.energy_j / self.num_requests
 
@@ -334,7 +655,7 @@ class ServingReport:
         active-only figure, at low load the makespan's leakage dominates —
         which is exactly what a capacity planner needs to see.
         """
-        if not self.requests:
+        if not len(self.requests):
             return 0.0
         return self.total_energy_j / self.num_requests
 
@@ -376,9 +697,7 @@ class ServingReport:
         """
         if self.deadline_s is None:
             return self.num_requests
-        return sum(
-            1 for r in self.requests if r.latency_s <= self.deadline_s
-        )
+        return int(np.count_nonzero(self.requests.latency_s <= self.deadline_s))
 
     @property
     def goodput_rps(self) -> float:
@@ -404,10 +723,10 @@ class ServingReport:
         their in-window share, so availability never goes negative from a
         repair that outlives the run.
         """
-        if not self.requests:
+        if not len(self.requests):
             return 0.0
-        start = min(r.arrival_s for r in self.requests)
-        end = max(r.completion_s for r in self.requests)
+        start = float(self.requests.arrival_s.min())
+        end = float(self.requests.completion_s.max())
         down = 0.0
         for f in self.failures:
             if f.chip == chip:

@@ -20,6 +20,13 @@ within a batch keep FIFO order in the records).  In the single-chip,
 no-batching limit with deterministic service this is exactly an M/D/1
 queue, which :mod:`repro.serving.theory` cross-validates.
 
+Results accumulate *columnar*: the hot loop appends plain scalars to
+per-column lists (three appends per request, six per batch) and the
+per-request dispatch/completion/chip columns — constant within a batch —
+are derived at the end by one vectorized gather from the batch columns.
+No per-request record object is built during simulation; the report's
+tables materialize records lazily for consumers that want them.
+
 Faults
 ------
 
@@ -51,18 +58,22 @@ pre-fault simulator.
 
 from __future__ import annotations
 
+import time as _time
 from typing import Sequence
+
+import numpy as np
 
 from repro.core.events import ARRIVE, FREE, TIMEOUT, EventLoop, ServerPool
 from repro.serving.arrivals import Request
 from repro.serving.batcher import NO_BATCHING, DynamicBatcher
 from repro.serving.faults import AdmissionController, FaultInjector, NO_ADMISSION, RetryPolicy
 from repro.serving.fleet import ChipFleet
+from repro.serving.profiling import PROFILER, RunProfile
 from repro.serving.report import (
-    BatchRecord,
+    BatchTable,
     DropRecord,
     FailureRecord,
-    RequestRecord,
+    RequestTable,
     RetryRecord,
     ServingReport,
 )
@@ -82,6 +93,63 @@ _FAIL = FREE - 2
 _REPAIR = FREE - 1
 
 
+def _assemble_tables(
+    req_index: list[int],
+    req_arrival: list[float],
+    req_batch: list[int],
+    req_attempts: list[int] | None,
+    b_chip: list[int],
+    b_dispatch: list[float],
+    b_completion: list[float],
+    b_size: list[int],
+    b_seq_len: list[int],
+    b_energy: list[float],
+) -> tuple[RequestTable, BatchTable]:
+    """Build the report tables from the hot loop's column lists.
+
+    Per-request dispatch/completion/chip/size/seq_len are batch-constant,
+    so only the batch row index is recorded per request and the rest is
+    one fancy-indexed gather here.
+    """
+    chip = np.asarray(b_chip, dtype=np.int64)
+    dispatch = np.asarray(b_dispatch, dtype=np.float64)
+    completion = np.asarray(b_completion, dtype=np.float64)
+    size = np.asarray(b_size, dtype=np.int64)
+    seq_len = np.asarray(b_seq_len, dtype=np.int64)
+    batch_of_request = np.asarray(req_batch, dtype=np.int64)
+    requests = RequestTable(
+        np.asarray(req_index, dtype=np.int64),
+        np.asarray(req_arrival, dtype=np.float64),
+        dispatch[batch_of_request],
+        completion[batch_of_request],
+        chip[batch_of_request],
+        batch_of_request,
+        size[batch_of_request],
+        seq_len[batch_of_request],
+        np.zeros(len(req_index), dtype=np.int64)
+        if req_attempts is None
+        else np.asarray(req_attempts, dtype=np.int64),
+    )
+    batches = BatchTable(
+        np.arange(len(b_chip), dtype=np.int64),
+        chip,
+        dispatch,
+        completion,
+        size,
+        seq_len,
+        np.asarray(b_energy, dtype=np.float64),
+    )
+    return requests, batches
+
+
+def _per_chip_busy(batches: BatchTable, num_chips: int) -> tuple[float, ...]:
+    return tuple(
+        np.bincount(batches.chip, weights=batches.service_s, minlength=num_chips)
+        if len(batches)
+        else np.zeros(num_chips)
+    )
+
+
 class ServingSimulator:
     """Event-driven executor of a request stream over a chip fleet.
 
@@ -91,6 +159,11 @@ class ServingSimulator:
     to :data:`~repro.serving.faults.NO_ADMISSION` there).  With none of
     them the healthy path is taken, bit-identical to the pre-fault
     simulator.
+
+    After every run :attr:`last_profile` holds the run's hot-path counters
+    (events scheduled/popped, dispatch sweeps, wall time); when the global
+    :data:`~repro.serving.profiling.PROFILER` is enabled the counters are
+    also collected there.
     """
 
     def __init__(
@@ -106,6 +179,7 @@ class ServingSimulator:
         self.faults = faults
         self.retry = retry
         self.admission = admission
+        self.last_profile: RunProfile | None = None
 
     @property
     def fault_aware(self) -> bool:
@@ -116,33 +190,65 @@ class ServingSimulator:
             or self.admission is not None
         )
 
-    def run(self, requests: Sequence[Request]) -> ServingReport:
+    def run(self, requests: Sequence[Request], label: str = "serving") -> ServingReport:
         """Serve every request and report the completed run.
 
         ``requests`` need not be sorted; they are served in arrival order
         (ties broken by the given order, which arrival generators emit by
-        index).
+        index).  ``label`` names the run in profiler output.
         """
         if not requests:
             raise ValueError("cannot simulate an empty request stream")
         ordered = sorted(requests, key=lambda r: r.arrival_s)
+        start = _time.perf_counter()
         if self.fault_aware:
-            return self._run_fault_aware(ordered)
-        return self._run_healthy(ordered)
+            report, loop, dispatch_calls = self._run_fault_aware(ordered)
+        else:
+            report, loop, dispatch_calls = self._run_healthy(ordered)
+        self.last_profile = RunProfile(
+            label=label,
+            events_scheduled=loop.events_scheduled,
+            events_popped=loop.events_popped,
+            dispatch_calls=dispatch_calls,
+            num_requests=report.num_requests,
+            num_batches=report.num_batches,
+            wall_s=_time.perf_counter() - start,
+        )
+        PROFILER.record(self.last_profile)
+        return report
 
     # ------------------------------------------------------------------ #
     # healthy path (no faults, no admission control)
     # ------------------------------------------------------------------ #
-    def _run_healthy(self, ordered: list[Request]) -> ServingReport:
+    def _run_healthy(
+        self, ordered: list[Request]
+    ) -> tuple[ServingReport, EventLoop, int]:
         loop = EventLoop()
         chips = ServerPool("chips", self.fleet.num_chips, speedups=self.fleet.speedups)
         for request in ordered:
             loop.schedule(request.arrival_s, ARRIVE, request)
 
-        request_records: list[RequestRecord] = []
-        batch_records: list[BatchRecord] = []
+        req_index: list[int] = []
+        req_arrival: list[float] = []
+        req_batch: list[int] = []
+        b_chip: list[int] = []
+        b_dispatch: list[float] = []
+        b_completion: list[float] = []
+        b_size: list[int] = []
+        b_seq_len: list[int] = []
+        b_energy: list[float] = []
         timed_wait = self.batcher.max_wait_s > 0.0
         queued: set[int] = set()  # indexes awaiting dispatch (timeout liveness)
+        dispatch_calls = 0
+
+        # hot-loop local bindings: attribute loads cost in a loop that runs
+        # once per event over millions of events
+        schedule = loop.schedule
+        batcher_ready = self.batcher.ready
+        batcher_batch_of = self.batcher.batch_of
+        batch_latency_s = self.fleet.batch_latency_s
+        batch_energy_j = self.fleet.batch_energy_j
+        max_wait_s = self.batcher.max_wait_s
 
         def dispatch(time: float, force: bool = False) -> None:
             """Release ready batches to idle chips until either runs out.
@@ -157,45 +263,31 @@ class ServingSimulator:
                 oldest = chips.peek(0)
                 if oldest is None:
                     return
-                if not force and not self.batcher.ready(depth, time - oldest.arrival_s):
+                if not force and not batcher_ready(depth, time - oldest.arrival_s):
                     return
                 chip = chips.idle_server()
                 if chip is None:
                     return
                 force = False  # one forced batch per timeout
-                batch = [chips.pop(0) for _ in range(self.batcher.batch_of(depth))]
+                batch = [chips.pop(0) for _ in range(batcher_batch_of(depth))]
                 queued.difference_update(r.index for r in batch)
                 seq_len = max(r.seq_len for r in batch)
-                service = self.fleet.batch_latency_s(chip, len(batch), seq_len)
+                service = batch_latency_s(chip, len(batch), seq_len)
                 completion = time + service
                 chips.acquire(chip)
                 chips.occupy(service)
-                loop.schedule(completion, FREE, chip)
-                batch_index = len(batch_records)
-                batch_records.append(
-                    BatchRecord(
-                        index=batch_index,
-                        chip=chip,
-                        dispatch_s=time,
-                        completion_s=completion,
-                        size=len(batch),
-                        seq_len=seq_len,
-                        energy_j=self.fleet.batch_energy_j(chip, len(batch), seq_len),
-                    )
-                )
-                request_records.extend(
-                    RequestRecord(
-                        index=r.index,
-                        arrival_s=r.arrival_s,
-                        dispatch_s=time,
-                        completion_s=completion,
-                        chip=chip,
-                        batch_index=batch_index,
-                        batch_size=len(batch),
-                        seq_len=seq_len,
-                    )
-                    for r in batch
-                )
+                schedule(completion, FREE, chip)
+                batch_row = len(b_chip)
+                b_chip.append(chip)
+                b_dispatch.append(time)
+                b_completion.append(completion)
+                b_size.append(len(batch))
+                b_seq_len.append(seq_len)
+                b_energy.append(batch_energy_j(chip, len(batch), seq_len))
+                for r in batch:
+                    req_index.append(r.index)
+                    req_arrival.append(r.arrival_s)
+                    req_batch.append(batch_row)
 
         while loop:
             time, kind, data = loop.pop()
@@ -206,40 +298,41 @@ class ServingSimulator:
                 if timed_wait:
                     # lazy maturity timer: when it fires the request either
                     # already left in a batch (no-op) or unblocks a partial one
-                    loop.schedule(
-                        time + self.batcher.max_wait_s, TIMEOUT, request.index
-                    )
-                loop.schedule(time, _DISPATCH)
+                    schedule(time + max_wait_s, TIMEOUT, request.index)
+                schedule(time, _DISPATCH)
             elif kind == FREE:
                 chips.release(data[0])
-                loop.schedule(time, _DISPATCH)
+                schedule(time, _DISPATCH)
             elif kind == TIMEOUT:
                 if data[0] in queued:
-                    loop.schedule(time, _DISPATCH, data[0])
+                    schedule(time, _DISPATCH, data[0])
             else:  # _DISPATCH
                 # force only if the matured request is *still* waiting now
+                dispatch_calls += 1
                 dispatch(time, force=bool(data) and data[0] in queued)
 
-        # the pool tracks aggregate busy time; per-chip occupancy comes from
-        # the batch records (each batch knows which chip it occupied)
-        per_chip_busy = [0.0] * self.fleet.num_chips
-        for batch in batch_records:
-            per_chip_busy[batch.chip] += batch.service_s
-        return ServingReport(
+        requests, batches = _assemble_tables(
+            req_index, req_arrival, req_batch, None,
+            b_chip, b_dispatch, b_completion, b_size, b_seq_len, b_energy,
+        )
+        report = ServingReport(
             num_chips=self.fleet.num_chips,
-            requests=tuple(request_records),
-            batches=tuple(batch_records),
-            chip_busy_s=tuple(per_chip_busy),
+            requests=requests,
+            batches=batches,
+            chip_busy_s=_per_chip_busy(batches, self.fleet.num_chips),
             queue_peak=chips.queue_peak,
             chip_idle_power_w=tuple(
                 self.fleet.idle_power_w(chip) for chip in range(self.fleet.num_chips)
             ),
         )
+        return report, loop, dispatch_calls
 
     # ------------------------------------------------------------------ #
     # fault-aware path (failures, retries, admission control)
     # ------------------------------------------------------------------ #
-    def _run_fault_aware(self, ordered: list[Request]) -> ServingReport:
+    def _run_fault_aware(
+        self, ordered: list[Request]
+    ) -> tuple[ServingReport, EventLoop, int]:
         num_chips = self.fleet.num_chips
         retry = self.retry if self.retry is not None else RetryPolicy()
         admission = self.admission if self.admission is not None else NO_ADMISSION
@@ -254,8 +347,16 @@ class ServingSimulator:
             for chip in range(num_chips):
                 loop.schedule(session.time_to_failure_s(chip), _FAIL, chip)
 
-        request_records: list[RequestRecord] = []
-        batch_records: list[BatchRecord] = []
+        req_index: list[int] = []
+        req_arrival: list[float] = []
+        req_batch: list[int] = []
+        req_attempts: list[int] = []
+        b_chip: list[int] = []
+        b_dispatch: list[float] = []
+        b_completion: list[float] = []
+        b_size: list[int] = []
+        b_seq_len: list[int] = []
+        b_energy: list[float] = []
         shed: list[DropRecord] = []
         abandoned: list[DropRecord] = []
         retries: list[RetryRecord] = []
@@ -263,6 +364,7 @@ class ServingSimulator:
         attempts: dict[int, int] = {}  # index -> failed service attempts
         timed_wait = self.batcher.max_wait_s > 0.0
         queued: set[int] = set()
+        dispatch_calls = 0
         # chip -> the batch it is serving: dict(epoch, members, dispatch_s,
         # completion_s, seq_len, energy_j); records are written only when a
         # batch *completes*, so a killed batch leaves no request records
@@ -292,7 +394,6 @@ class ServingSimulator:
 
         def dispatch(time: float, force: bool = False) -> None:
             """Health- and deadline-aware batch release (see healthy path)."""
-            nonlocal outstanding
             while True:
                 oldest = chips.peek(0)
                 if oldest is None:
@@ -370,32 +471,18 @@ class ServingSimulator:
                     continue  # completion of a batch a failure already killed
                 inflight[chip] = None
                 chips.release(chip)
-                batch_index = len(batch_records)
-                batch_records.append(
-                    BatchRecord(
-                        index=batch_index,
-                        chip=chip,
-                        dispatch_s=info["dispatch_s"],
-                        completion_s=time,
-                        size=len(info["members"]),
-                        seq_len=info["seq_len"],
-                        energy_j=info["energy_j"],
-                    )
-                )
-                request_records.extend(
-                    RequestRecord(
-                        index=r.index,
-                        arrival_s=r.arrival_s,
-                        dispatch_s=info["dispatch_s"],
-                        completion_s=time,
-                        chip=chip,
-                        batch_index=batch_index,
-                        batch_size=len(info["members"]),
-                        seq_len=info["seq_len"],
-                        attempts=attempts.get(r.index, 0),
-                    )
-                    for r in info["members"]
-                )
+                batch_row = len(b_chip)
+                b_chip.append(chip)
+                b_dispatch.append(info["dispatch_s"])
+                b_completion.append(time)
+                b_size.append(len(info["members"]))
+                b_seq_len.append(info["seq_len"])
+                b_energy.append(info["energy_j"])
+                for r in info["members"]:
+                    req_index.append(r.index)
+                    req_arrival.append(r.arrival_s)
+                    req_batch.append(batch_row)
+                    req_attempts.append(attempts.get(r.index, 0))
                 outstanding -= len(info["members"])
                 loop.schedule(time, _DISPATCH)
             elif kind == TIMEOUT:
@@ -480,16 +567,18 @@ class ServingSimulator:
                     loop.schedule(time + session.time_to_failure_s(chip), _FAIL, chip)
                     loop.schedule(time, _DISPATCH)
             else:  # _DISPATCH
+                dispatch_calls += 1
                 dispatch(time, force=bool(data) and data[0] in queued)
 
-        per_chip_busy = [0.0] * num_chips
-        for batch in batch_records:
-            per_chip_busy[batch.chip] += batch.service_s
-        return ServingReport(
+        requests, batches = _assemble_tables(
+            req_index, req_arrival, req_batch, req_attempts,
+            b_chip, b_dispatch, b_completion, b_size, b_seq_len, b_energy,
+        )
+        report = ServingReport(
             num_chips=num_chips,
-            requests=tuple(request_records),
-            batches=tuple(batch_records),
-            chip_busy_s=tuple(per_chip_busy),
+            requests=requests,
+            batches=batches,
+            chip_busy_s=_per_chip_busy(batches, num_chips),
             queue_peak=chips.queue_peak,
             chip_idle_power_w=tuple(
                 self.fleet.idle_power_w(chip) for chip in range(num_chips)
@@ -501,3 +590,4 @@ class ServingSimulator:
             deadline_s=retry.deadline_s,
             faults_enabled=True,
         )
+        return report, loop, dispatch_calls

@@ -36,7 +36,12 @@ def percentile(
 
     A scalar ``q`` returns a float, a sequence returns an array.
     """
-    arr = np.asarray(list(values), dtype=np.float64).ravel()
+    # arrays pass straight through: list(values) on a million-sample
+    # latency column would build a million boxed scalars first
+    if isinstance(values, np.ndarray):
+        arr = values.astype(np.float64, copy=False).ravel()
+    else:
+        arr = np.asarray(list(values), dtype=np.float64).ravel()
     if arr.size == 0:
         raise ValueError("cannot take a percentile of an empty sequence")
     q_arr = np.atleast_1d(np.asarray(q, dtype=np.float64))
@@ -45,7 +50,10 @@ def percentile(
     if weights is None:
         result = np.percentile(arr, q_arr)
     else:
-        w = np.asarray(list(weights), dtype=np.float64).ravel()
+        if isinstance(weights, np.ndarray):
+            w = weights.astype(np.float64, copy=False).ravel()
+        else:
+            w = np.asarray(list(weights), dtype=np.float64).ravel()
         if w.shape != arr.shape:
             raise ValueError(f"got {w.size} weights for {arr.size} values")
         if np.any(w < 0.0) or w.sum() == 0.0:

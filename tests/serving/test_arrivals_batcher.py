@@ -51,6 +51,48 @@ class TestPoissonArrivals:
         with pytest.raises(ValueError):
             PoissonArrivals(rate_rps=10.0, seq_len=()).generate(5)
 
+    def test_pinned_trace_regression(self):
+        # pinned against the pre-vectorization per-request loop: the cumsum
+        # fast path must stay bit-identical for a fixed seed
+        requests = PoissonArrivals(1000.0, seq_len=[64, 128, 256], seed=12345).generate(6)
+        expected = [
+            (0, 0.00018413256735377504, 128),
+            (1, 0.0008291596367411208, 128),
+            (2, 0.005519378329202462, 64),
+            (3, 0.005937936995356281, 64),
+            (4, 0.006448984439484976, 64),
+            (5, 0.00777178869625624, 256),
+        ]
+        assert [(r.index, r.arrival_s, r.seq_len) for r in requests] == expected
+
+    def test_index_offset_shifts_only_indices(self):
+        process = PoissonArrivals(rate_rps=500.0, seq_len=(64, 128), seed=9)
+        plain = process.generate(20)
+        shifted = process.generate(20, index_offset=100)
+        assert [r.index for r in shifted] == list(range(100, 120))
+        assert [r.arrival_s for r in shifted] == [r.arrival_s for r in plain]
+        assert [r.seq_len for r in shifted] == [r.seq_len for r in plain]
+        with pytest.raises(ValueError):
+            process.generate(20, index_offset=-1)
+
+    def test_shards_split_rate_and_seeds(self):
+        process = PoissonArrivals(rate_rps=1200.0, seq_len=128, seed=4)
+        streams = process.shards(3)
+        assert [s.rate_rps for s in streams] == [400.0, 400.0, 400.0]
+        traces = [tuple(r.arrival_s for r in s.generate(200)) for s in streams]
+        assert len(set(traces)) == 3  # spawn children never share draws
+        again = [
+            tuple(r.arrival_s for r in s.generate(200)) for s in process.shards(3)
+        ]
+        assert traces == again  # same root seed reproduces the tree
+        with pytest.raises(ValueError):
+            process.shards(0)
+
+    def test_shards_accept_seed_sequence_root(self):
+        root = np.random.SeedSequence(77)
+        streams = PoissonArrivals(600.0, seed=root).shards(2)
+        assert streams[0].generate(5) != streams[1].generate(5)
+
 
 class TestTraceArrivals:
     def test_replays_trace(self):
