@@ -15,7 +15,13 @@ from repro.analysis.breakdown import (
     StarScheduleRow,
 )
 from repro.analysis.efficiency import EfficiencyComparison, Figure3Results
-from repro.analysis.serving import MD1ValidationRow, ServingAnalyzer, ServingSweepRow
+from repro.analysis.serving import (
+    MD1ValidationRow,
+    ServingAnalyzer,
+    ServingSweepRow,
+    SLOServingAnalyzer,
+    SLOSweepRow,
+)
 
 __all__ = [
     "BitwidthAnalyzer",
@@ -36,4 +42,6 @@ __all__ = [
     "ServingAnalyzer",
     "ServingSweepRow",
     "MD1ValidationRow",
+    "SLOServingAnalyzer",
+    "SLOSweepRow",
 ]

@@ -21,6 +21,15 @@ workload at growing shard counts, with parallel efficiency against the
 one-shard run.  Its table is wall-clock (machine-dependent), so it backs
 the README scaling table and the ``examples/sharded_serving.py`` demo but
 is deliberately not a golden experiment.
+
+:class:`SLOServingAnalyzer` is the E12 experiment — the serving control
+plane end to end.  Three sections: an EDF-vs-FIFO load sweep on bursty
+(on/off MMPP) two-class traffic where deadline skew makes dispatch order
+matter; a closed-loop run of think-time clients cross-validated against
+the machine-repair M/M/1//N closed form; and a diurnal autoscaling
+comparison where a hysteresis controller parks chips into non-volatile
+deep sleep overnight and the energy ledger shows what that buys against
+the always-on fleet.
 """
 
 from __future__ import annotations
@@ -30,11 +39,18 @@ import os
 import time
 from dataclasses import dataclass
 
-from repro.serving.arrivals import PoissonArrivals
+from repro.serving.arrivals import (
+    ClosedLoopClients,
+    DayCurveArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.serving.autoscale import Autoscaler
 from repro.serving.batcher import NO_BATCHING, DynamicBatcher
 from repro.serving.faults import AdmissionController, FaultInjector, RetryPolicy
 from repro.serving.fleet import (
     ChipFleet,
+    ExponentialServiceModel,
     FixedServiceModel,
     LinearServiceModel,
     ServiceModel,
@@ -43,7 +59,8 @@ from repro.serving.fleet import (
 from repro.serving.report import ServingReport
 from repro.serving.sharded import ShardedServingSimulator
 from repro.serving.simulator import ServingSimulator
-from repro.serving.theory import MD1Queue
+from repro.serving.slo import SLOClass, SLOPolicy
+from repro.serving.theory import MachineRepairQueue, MD1Queue
 from repro.utils.stats import relative_error
 from repro.utils.validation import require_positive
 
@@ -57,6 +74,11 @@ __all__ = [
     "FaultServingAnalyzer",
     "ShardScalingRow",
     "ShardedScalingAnalyzer",
+    "SLOSweepRow",
+    "ClosedLoopValidationRow",
+    "AutoscaleComparisonRow",
+    "SLOServingAnalyzer",
+    "sleep_capable_star_model",
 ]
 
 
@@ -649,4 +671,407 @@ class ShardedScalingAnalyzer:
                 f"{row.report.p50_latency_s * 1e3:>9.3f} "
                 f"{row.report.p99_latency_s * 1e3:>9.3f}"
             )
+        return "\n".join(lines)
+
+
+def sleep_capable_star_model(seq_len: int = 128) -> StarServiceModel:
+    """A stock STAR service model whose chip has a deep-sleep power state.
+
+    The default :class:`~repro.core.accelerator.ChipResources` carries no
+    :class:`~repro.core.accelerator.PowerState`, so parking a chip saves
+    nothing beyond idle.  Autoscaling experiments want the non-volatile
+    story: retention-level sleep power, a drain latency into sleep and a
+    supply-ramp wake priced at the re-bias energy.  Timing is untouched —
+    the model prices batches identically to ``StarServiceModel()``.
+    """
+    from repro.core.accelerator import ChipResources, PowerState, STARAccelerator
+    from repro.core.batch_cost import BatchCostModel
+
+    resources = ChipResources(power_state=PowerState())
+    accelerator = STARAccelerator(
+        resources=resources, batch_cost=BatchCostModel.streamed()
+    )
+    return StarServiceModel(accelerator=accelerator, seq_len=seq_len)
+
+
+@dataclass(frozen=True)
+class SLOSweepRow:
+    """One offered-load point of the EDF-vs-FIFO skew sweep.
+
+    Both reports serve the *same* tagged bursty request stream; only the
+    batcher's drain order differs, so any attainment gap is pure
+    scheduling.
+    """
+
+    load_factor: float
+    offered_rate_rps: float
+    fifo_report: ServingReport
+    edf_report: ServingReport
+
+    @property
+    def fifo_attainment(self) -> float:
+        """Overall deadline attainment of the FIFO arm."""
+        return self.fifo_report.deadline_attainment()
+
+    @property
+    def edf_attainment(self) -> float:
+        """Overall deadline attainment of the EDF arm."""
+        return self.edf_report.deadline_attainment()
+
+
+@dataclass(frozen=True)
+class ClosedLoopValidationRow:
+    """Closed-loop simulation vs the machine-repair M/M/1//N closed form."""
+
+    num_clients: int
+    think_s: float
+    service_s: float
+    simulated_throughput_rps: float
+    simulated_latency_s: float
+    theory_throughput_rps: float
+    theory_latency_s: float
+
+    @property
+    def throughput_deviation(self) -> float:
+        """Relative error of the simulated throughput."""
+        return relative_error(
+            self.simulated_throughput_rps, self.theory_throughput_rps
+        )
+
+    @property
+    def latency_deviation(self) -> float:
+        """Relative error of the simulated mean response time."""
+        return relative_error(self.simulated_latency_s, self.theory_latency_s)
+
+
+@dataclass(frozen=True)
+class AutoscaleComparisonRow:
+    """Autoscaled vs always-on fleet on identical diurnal traffic."""
+
+    autoscaled_report: ServingReport
+    always_on_report: ServingReport
+
+    @staticmethod
+    def _overhead_j(report: ServingReport) -> float:
+        """Non-compute energy: idle leakage, sleep retention, wake bursts."""
+        return report.idle_energy_j + report.sleep_energy_j + report.wake_energy_j
+
+    @property
+    def total_saving(self) -> float:
+        """Fractional total-energy saving of autoscaling."""
+        base = self.always_on_report.total_energy_j
+        return 1.0 - self.autoscaled_report.total_energy_j / base if base > 0 else 0.0
+
+    @property
+    def overhead_saving(self) -> float:
+        """Fractional saving on the non-compute (idle/sleep/wake) energy.
+
+        Active energy is pinned by the traffic, so this is the share the
+        controller can actually influence.
+        """
+        base = self._overhead_j(self.always_on_report)
+        return 1.0 - self._overhead_j(self.autoscaled_report) / base if base > 0 else 0.0
+
+
+class SLOServingAnalyzer:
+    """The serving control plane end to end (E12).
+
+    Three sections, all on the same sleep-capable STAR fleet:
+
+    * **EDF vs FIFO under bursty skewed traffic** — two SLO classes
+      (interactive with a tight deadline, batch with a loose one) tagged
+      i.i.d. onto one on/off-MMPP stream, served twice per load point
+      with only the batcher's drain order changed.  Bursts pile up a
+      backlog; FIFO makes interactive requests queue through it while
+      EDF lifts them past the batch class, so attainment separates as
+      load grows.
+    * **Closed-loop cross-validation** — ``num_clients`` think-time
+      clients on one chip with exponential service is exactly the
+      machine-repair M/M/1//N queue; the simulated throughput and
+      response time answer to the closed form.
+    * **Diurnal autoscaling** — a stylized day curve over a fleet sized
+      for peak, served with and without the hysteresis autoscaler.  The
+      energy ledger splits what parking into non-volatile deep sleep
+      saves (idle leakage becomes retention power) from what traffic
+      pins (active compute).
+
+    Parameters
+    ----------
+    service_model:
+        Batch pricing; defaults to :func:`sleep_capable_star_model`.
+    num_chips:
+        Fleet size of the skew sweep (the closed-loop check is always
+        single-chip; the autoscale section uses ``autoscale_chips``).
+    interactive_deadline_s / batch_deadline_s:
+        Relative completion deadlines of the two SLO classes.  The
+        interactive deadline must clear the full-batch service time —
+        non-preemptive batch-EDF cannot save a request whose own batch
+        already overruns it.
+    interactive_share:
+        Fraction of traffic tagged interactive.
+    burst_ratio / base_ratio / burst_s:
+        The on/off MMPP: bursts at ``burst_ratio`` times the mean rate
+        lasting ``burst_s`` on average, quiet periods at ``base_ratio``
+        times the mean, duty cycle solved so the long-run mean is exact.
+    """
+
+    def __init__(
+        self,
+        service_model: ServiceModel | None = None,
+        num_chips: int = 2,
+        seq_len: int = 128,
+        num_requests: int = 3000,
+        seed: int = 0,
+        max_batch_size: int = 8,
+        max_wait_s: float = 2e-3,
+        interactive_deadline_s: float = 0.06,
+        batch_deadline_s: float = 1.0,
+        interactive_share: float = 0.5,
+        burst_ratio: float = 1.6,
+        base_ratio: float = 0.2,
+        burst_s: float = 0.2,
+    ) -> None:
+        require_positive(num_chips, "num_chips")
+        require_positive(num_requests, "num_requests")
+        require_positive(interactive_deadline_s, "interactive_deadline_s")
+        require_positive(batch_deadline_s, "batch_deadline_s")
+        if not 0.0 < interactive_share < 1.0:
+            raise ValueError(
+                f"interactive_share must lie strictly in (0, 1), got "
+                f"{interactive_share}"
+            )
+        if not base_ratio < 1.0 < burst_ratio:
+            raise ValueError(
+                f"need base_ratio < 1 < burst_ratio for an on/off burst "
+                f"process, got ({base_ratio}, {burst_ratio})"
+            )
+        require_positive(burst_s, "burst_s")
+        self.service_model = service_model or sleep_capable_star_model(seq_len)
+        self.num_chips = num_chips
+        self.seq_len = seq_len
+        self.num_requests = num_requests
+        self.seed = seed
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self.interactive_deadline_s = interactive_deadline_s
+        self.batch_deadline_s = batch_deadline_s
+        self.interactive_share = interactive_share
+        self.burst_ratio = burst_ratio
+        self.base_ratio = base_ratio
+        self.burst_s = burst_s
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    def policy(self) -> SLOPolicy:
+        """The two-class SLO policy: interactive (tight), batch (loose)."""
+        return SLOPolicy(
+            (
+                SLOClass("interactive", deadline_s=self.interactive_deadline_s),
+                SLOClass("batch", deadline_s=self.batch_deadline_s),
+            )
+        )
+
+    def amortised_capacity_rps(self) -> float:
+        """Fleet completion-rate bound at the batcher's full batch size."""
+        cap = self.max_batch_size
+        return self.num_chips * cap / self.service_model.batch_latency_s(
+            cap, self.seq_len
+        )
+
+    def _arrivals(self, mean_rate_rps: float) -> MMPPArrivals:
+        """The on/off burst process with an exact long-run mean rate."""
+        burst = self.burst_ratio * mean_rate_rps
+        base = self.base_ratio * mean_rate_rps
+        duty = (mean_rate_rps - base) / (burst - base)
+        return MMPPArrivals.on_off(
+            burst_rate_rps=burst,
+            base_rate_rps=base,
+            burst_s=self.burst_s,
+            duty=duty,
+            seq_len=self.seq_len,
+            seed=self.seed,
+        )
+
+    def _tagged_requests(self, mean_rate_rps: float):
+        requests = self._arrivals(mean_rate_rps).generate(self.num_requests)
+        return self.policy().tag_random(
+            requests,
+            weights=(self.interactive_share, 1.0 - self.interactive_share),
+            seed=self.seed + 1,
+        )
+
+    # ------------------------------------------------------------------ #
+    # EDF vs FIFO skew sweep
+    # ------------------------------------------------------------------ #
+    def row_for(self, load_factor: float) -> SLOSweepRow:
+        """Both drain orders at one offered load on identical traffic."""
+        require_positive(load_factor, "load_factor")
+        rate = load_factor * self.amortised_capacity_rps()
+        requests = self._tagged_requests(rate)
+        fifo = DynamicBatcher(
+            max_batch_size=self.max_batch_size, max_wait_s=self.max_wait_s
+        )
+        edf = DynamicBatcher.edf(
+            max_batch_size=self.max_batch_size, max_wait_s=self.max_wait_s
+        )
+        fifo_report = ServingSimulator(
+            ChipFleet(self.service_model, num_chips=self.num_chips), fifo
+        ).run(requests)
+        edf_report = ServingSimulator(
+            ChipFleet(self.service_model, num_chips=self.num_chips), edf
+        ).run(requests)
+        return SLOSweepRow(
+            load_factor=load_factor,
+            offered_rate_rps=rate,
+            fifo_report=fifo_report,
+            edf_report=edf_report,
+        )
+
+    def sweep_rows(
+        self, load_factors: tuple[float, ...] = (0.6, 0.8, 0.9)
+    ) -> list[SLOSweepRow]:
+        """The skew sweep over rising offered load."""
+        return [self.row_for(factor) for factor in load_factors]
+
+    # ------------------------------------------------------------------ #
+    # closed-loop cross-validation
+    # ------------------------------------------------------------------ #
+    def closed_loop_validation(
+        self,
+        num_clients: int = 8,
+        think_s: float = 0.010,
+        service_s: float = 0.001,
+        num_requests: int = 15000,
+    ) -> ClosedLoopValidationRow:
+        """Single-chip closed loop vs the machine-repair M/M/1//N form."""
+        clients = ClosedLoopClients(
+            num_clients=num_clients,
+            think_s=think_s,
+            seq_len=self.seq_len,
+            seed=self.seed + 2,
+        )
+        model = ExponentialServiceModel(
+            mean_s=service_s, request_energy_j=1e-4, seed=self.seed + 3
+        )
+        report = ServingSimulator(
+            ChipFleet(model, num_chips=1), NO_BATCHING
+        ).run_closed_loop(clients, num_requests)
+        theory = MachineRepairQueue(
+            num_clients=num_clients, think_s=think_s, service_s=service_s
+        )
+        return ClosedLoopValidationRow(
+            num_clients=num_clients,
+            think_s=think_s,
+            service_s=service_s,
+            simulated_throughput_rps=report.throughput_rps,
+            simulated_latency_s=report.mean_latency_s,
+            theory_throughput_rps=theory.throughput_rps,
+            theory_latency_s=theory.mean_latency_s,
+        )
+
+    # ------------------------------------------------------------------ #
+    # diurnal autoscaling
+    # ------------------------------------------------------------------ #
+    def autoscaler(self) -> Autoscaler:
+        """The hysteresis controller of the diurnal comparison."""
+        return Autoscaler(
+            interval_s=0.05,
+            scale_up_above=0.85,
+            scale_down_below=0.55,
+            scale_up_queue_depth=64,
+            min_chips=1,
+        )
+
+    def autoscale_comparison(
+        self,
+        mean_rate_rps: float = 500.0,
+        period_s: float = 12.0,
+        num_chips: int = 4,
+        num_requests: int = 6000,
+    ) -> AutoscaleComparisonRow:
+        """One compressed day with and without the autoscaler.
+
+        ``period_s`` compresses the 24-hour curve so a few thousand
+        requests span whole day-night swings; the fleet is sized for the
+        peak, so the trough leaves most of it idle — the autoscaler's
+        whole opportunity.
+        """
+        arrivals = DayCurveArrivals(
+            mean_rate_rps=mean_rate_rps,
+            period_s=period_s,
+            seq_len=self.seq_len,
+            seed=self.seed + 4,
+        )
+        requests = arrivals.generate(num_requests)
+        batcher = DynamicBatcher(
+            max_batch_size=self.max_batch_size, max_wait_s=self.max_wait_s
+        )
+        autoscaled = ServingSimulator(
+            ChipFleet(self.service_model, num_chips=num_chips),
+            batcher,
+            autoscaler=self.autoscaler(),
+        ).run(requests)
+        always_on = ServingSimulator(
+            ChipFleet(self.service_model, num_chips=num_chips), batcher
+        ).run(requests)
+        return AutoscaleComparisonRow(
+            autoscaled_report=autoscaled, always_on_report=always_on
+        )
+
+    # ------------------------------------------------------------------ #
+    # presentation
+    # ------------------------------------------------------------------ #
+    def format_table(
+        self, load_factors: tuple[float, ...] = (0.6, 0.8, 0.9)
+    ) -> str:
+        """Printable control-plane report: sweep, crossval, autoscale."""
+        policy = self.policy()
+        lines = [
+            f"traffic : on/off MMPP bursts at {self.burst_ratio:.1f}x mean "
+            f"(~{self.burst_s * 1e3:.0f} ms), "
+            f"{self.interactive_share * 100:.0f}% interactive, "
+            f"{self.num_chips} chip(s), batch cap {self.max_batch_size}",
+            f"classes : interactive {policy.deadline_of(0) * 1e3:.0f} ms, "
+            f"batch {policy.deadline_of(1) * 1e3:.0f} ms "
+            f"(amortised capacity {self.amortised_capacity_rps():.0f} req/s)",
+            "",
+            f"{'load':>5} {'rate (r/s)':>11} | {'fifo att':>9} {'inter':>6} "
+            f"{'batch':>6} {'p99(ms)':>8} | {'edf att':>8} {'inter':>6} "
+            f"{'batch':>6} {'p99(ms)':>8}",
+        ]
+        for row in self.sweep_rows(load_factors):
+            fifo, edf = row.fifo_report, row.edf_report
+            lines.append(
+                f"{row.load_factor:>5.2f} {row.offered_rate_rps:>11.1f} | "
+                f"{row.fifo_attainment:>9.3f} {fifo.deadline_attainment(0):>6.3f} "
+                f"{fifo.deadline_attainment(1):>6.3f} "
+                f"{fifo.p99_latency_s * 1e3:>8.2f} | "
+                f"{row.edf_attainment:>8.3f} {edf.deadline_attainment(0):>6.3f} "
+                f"{edf.deadline_attainment(1):>6.3f} "
+                f"{edf.p99_latency_s * 1e3:>8.2f}"
+            )
+        check = self.closed_loop_validation()
+        lines.append(
+            f"closed-loop check ({check.num_clients} clients, "
+            f"Z={check.think_s * 1e3:.0f} ms, s={check.service_s * 1e3:.0f} ms): "
+            f"X {check.simulated_throughput_rps:.1f} vs M/M/1//N "
+            f"{check.theory_throughput_rps:.1f} req/s "
+            f"({check.throughput_deviation * 100:.2f}% off), "
+            f"R {check.simulated_latency_s * 1e3:.3f} vs "
+            f"{check.theory_latency_s * 1e3:.3f} ms "
+            f"({check.latency_deviation * 100:.2f}% off)"
+        )
+        autoscale = self.autoscale_comparison()
+        auto, base = autoscale.autoscaled_report, autoscale.always_on_report
+        lines.append(
+            f"diurnal autoscale ({base.num_chips} chips): "
+            f"mean awake {auto.mean_awake_chips:.2f}, "
+            f"{auto.num_scale_events} transitions, "
+            f"energy {auto.total_energy_j:.1f} vs {base.total_energy_j:.1f} J "
+            f"always-on ({autoscale.total_saving * 100:.1f}% total, "
+            f"{autoscale.overhead_saving * 100:.1f}% of idle+sleep+wake), "
+            f"p99 {auto.p99_latency_s * 1e3:.2f} vs "
+            f"{base.p99_latency_s * 1e3:.2f} ms"
+        )
         return "\n".join(lines)

@@ -42,12 +42,48 @@ __all__ = [
     "ChipResources",
     "LayerLatencyBreakdown",
     "ModelSchedule",
+    "PowerState",
     "RequestTiming",
     "STARAccelerator",
 ]
 
 #: Valid values of the ``schedule`` constructor argument.
 SCHEDULES = ("analytical", "executed")
+
+
+@dataclass(frozen=True)
+class PowerState:
+    """Deep-sleep power state of one chip: what sleeping saves, waking costs.
+
+    RRAM conductances are non-volatile, so a powered-down STAR chip keeps
+    its programmed weights — deep sleep gates the peripheral circuits
+    (DACs, ADCs, sense amplifiers, clocking) without losing tile state,
+    which is why ``sleep_power_fraction`` can sit far below the idle
+    fraction while wake-up needs no reprogramming, only re-biasing.
+
+    ``entry_latency_s`` is how long the chip takes to drain into the low
+    power state after the decision; ``exit_latency_s`` is the power-grid /
+    PLL ramp before the chip can serve again.  ``wake_energy_j`` is the
+    energy of one wake burst; ``None`` derives it as half the exit latency
+    at full active power (a linear ramp), evaluated by
+    :meth:`ChipResources.wake_energy_j` at the chip's reference length.
+    """
+
+    sleep_power_fraction: float = 0.02
+    entry_latency_s: float = 1e-3
+    exit_latency_s: float = 5e-3
+    wake_energy_j: float | None = None
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.sleep_power_fraction, "sleep_power_fraction")
+        if self.sleep_power_fraction > 1.0:
+            raise ValueError(
+                f"sleep_power_fraction must lie in [0, 1], got {self.sleep_power_fraction}"
+            )
+        require_non_negative(self.entry_latency_s, "entry_latency_s")
+        require_non_negative(self.exit_latency_s, "exit_latency_s")
+        if self.wake_energy_j is not None:
+            require_non_negative(self.wake_energy_j, "wake_energy_j")
 
 
 class ChipResources:
@@ -68,6 +104,7 @@ class ChipResources:
         num_softmax_engines: int = 64,
         system_overhead: SystemOverheadModel = DEFAULT_SYSTEM_OVERHEAD,
         idle_power_fraction: float = 0.1,
+        power_state: PowerState | None = None,
     ) -> None:
         require_positive(num_softmax_engines, "num_softmax_engines")
         require_non_negative(idle_power_fraction, "idle_power_fraction")
@@ -75,12 +112,22 @@ class ChipResources:
             raise ValueError(
                 f"idle_power_fraction must lie in [0, 1], got {idle_power_fraction}"
             )
+        if (
+            power_state is not None
+            and power_state.sleep_power_fraction > idle_power_fraction
+        ):
+            raise ValueError(
+                f"deep sleep must not draw more than idle: sleep fraction "
+                f"{power_state.sleep_power_fraction} > idle fraction "
+                f"{idle_power_fraction}"
+            )
         self.config = config or STARConfig()
         self.matmul_engine = MatMulEngine(self.config.matmul)
         self.softmax_engine = RRAMSoftmaxEngine(self.config.softmax)
         self.num_softmax_engines = num_softmax_engines
         self.system_overhead = system_overhead
         self.idle_power_fraction = idle_power_fraction
+        self.power_state = power_state
 
     @property
     def num_tiles(self) -> int:
@@ -128,6 +175,34 @@ class ChipResources:
         low-load energy-per-query figures stay honest.
         """
         return self.idle_power_fraction * self.power_w(seq_len)
+
+    def sleep_power_w(self, seq_len: int = 128) -> float:
+        """Residual power in deep sleep (idle power without a power state).
+
+        A chip with no :class:`PowerState` cannot sleep deeper than idle,
+        so parking it saves nothing beyond what idle already charges.
+        """
+        if self.power_state is None:
+            return self.idle_power_w(seq_len)
+        return self.power_state.sleep_power_fraction * self.power_w(seq_len)
+
+    @property
+    def sleep_entry_latency_s(self) -> float:
+        """Drain time from idle into deep sleep (0 without a power state)."""
+        return 0.0 if self.power_state is None else self.power_state.entry_latency_s
+
+    @property
+    def wake_latency_s(self) -> float:
+        """Power-grid / PLL ramp before a sleeping chip serves again."""
+        return 0.0 if self.power_state is None else self.power_state.exit_latency_s
+
+    def wake_energy_j(self, seq_len: int = 128) -> float:
+        """Energy of one wake burst (explicit, or the linear-ramp default)."""
+        if self.power_state is None:
+            return 0.0
+        if self.power_state.wake_energy_j is not None:
+            return self.power_state.wake_energy_j
+        return 0.5 * self.power_state.exit_latency_s * self.power_w(seq_len)
 
     def area_mm2(self) -> float:
         """Total chip area."""

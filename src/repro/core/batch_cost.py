@@ -150,6 +150,23 @@ class BatchCostModel:
         """Energy of the same maintenance rewrite (all cells repriced)."""
         return sum(engine.programming_energy_j(shape) for shape in shapes)
 
+    def wake_refresh_latency_s(self, engine: "MatMulEngine") -> float:
+        """Peripheral re-bias after deep power-down — *not* a reprogram.
+
+        RRAM conductances are non-volatile, so a woken chip keeps its tile
+        bank's weights (the whole point of parking RRAM chips instead of
+        DRAM-backed ones); what must settle before the first VMM is the
+        analog periphery — DAC/ADC bias points and sense-amp references —
+        which every tile refreshes in parallel with one dummy VMM cycle.
+        Contrast :meth:`maintenance_reprogram_latency_s`, the full rewrite
+        a *failed* chip pays because its conductance state is suspect.
+        """
+        return engine.tile_vmm_latency_s()
+
+    def wake_refresh_energy_j(self, engine: "MatMulEngine") -> float:
+        """Energy of the same re-bias: the whole bank's dummy VMM cycle."""
+        return engine.config.num_tiles * engine.tile_vmm_energy_j()
+
 
 #: Default pricing: batch-1 bit-identical to the pre-batching model, with
 #: the latency-only levers active for larger batches.

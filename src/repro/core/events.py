@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.utils.validation import require_non_negative, require_positive
 
-__all__ = ["FREE", "ARRIVE", "TIMEOUT", "EventLoop", "ServerPool", "StageJitter"]
+__all__ = ["FREE", "ARRIVE", "TIMEOUT", "TICK", "EventLoop", "ServerPool", "StageJitter"]
 
 #: Canonical event kinds.  At equal timestamps lower kinds are processed
 #: first: a server finishing its forward (``FREE``) is handled before a
@@ -42,6 +42,13 @@ __all__ = ["FREE", "ARRIVE", "TIMEOUT", "EventLoop", "ServerPool", "StageJitter"
 #: timers (``TIMEOUT``).  Clients may define further kinds; only the
 #: relative ordering matters.
 FREE, ARRIVE, TIMEOUT = 0, 1, 2
+
+#: Periodic controller timers (autoscaler evaluation, metric sampling).
+#: ``TICK`` deliberately sorts *after* every workload kind — including the
+#: deferred-dispatch kind clients conventionally place at ``TIMEOUT + 1`` —
+#: so a controller observing the system at time ``t`` sees the state after
+#: all of ``t``'s arrivals, completions and dispatches have settled.
+TICK = TIMEOUT + 2
 
 
 class EventLoop:
@@ -205,9 +212,15 @@ class ServerPool:
 
         Offline servers keep their queue and bookkeeping but are skipped by
         :meth:`idle_server`; all servers start online, so pools that never
-        call this behave exactly as before.
+        call this behave exactly as before.  The mask serves double duty:
+        fault-injected fleets take failed chips offline, and the serving
+        autoscaler parks deep-idle chips the same way.
         """
         self.online[server] = online
+
+    def num_online(self) -> int:
+        """Servers currently dispatchable (online, busy or not)."""
+        return sum(self.online)
 
     def service_time(self, server: int, nominal_s: float) -> float:
         """``nominal_s`` scaled by the server's speed factor."""

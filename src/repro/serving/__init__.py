@@ -5,9 +5,17 @@ arrival processes, dynamic batching, whole-model chip occupancy and
 tail-latency/energy-per-query reporting.  This package assembles those
 layers on the shared discrete-event core (:mod:`repro.core.events`):
 
-* :mod:`~repro.serving.arrivals` — open-loop Poisson and trace-driven
-  request streams (vectorized generation, exact Poisson shard splitting);
-* :mod:`~repro.serving.batcher` — the max-size + timeout dynamic batcher;
+* :mod:`~repro.serving.arrivals` — open-loop Poisson, Markov-modulated
+  (MMPP) and diurnal-curve request streams, trace replay, and closed-loop
+  client populations whose arrivals react to completions;
+* :mod:`~repro.serving.batcher` — the max-size + timeout dynamic batcher,
+  draining FIFO or EDF (earliest absolute deadline first);
+* :mod:`~repro.serving.slo` — SLO classes/policies for tagging traffic
+  and the control-plane event loop (EDF dispatch, closed-loop clients,
+  autoscaling);
+* :mod:`~repro.serving.autoscale` — the hysteresis-band autoscaler that
+  parks idle chips into non-volatile deep sleep and wakes them against
+  utilization/backlog targets;
 * :mod:`~repro.serving.fleet` — single- and multi-chip fleets priced by a
   service model (the STAR accelerator's batch-aware whole-model request
   timing, its linearized baseline, a fixed-service stand-in for theory
@@ -27,12 +35,20 @@ layers on the shared discrete-event core (:mod:`repro.core.events`):
 * :mod:`~repro.serving.profiling` — first-party hot-path counters
   (events, dispatch sweeps, wall time) behind the experiments CLI's
   ``--profile`` flag;
-* :mod:`~repro.serving.theory` — M/D/1 (and M/M/1) closed forms the
-  simulator is cross-validated against.
+* :mod:`~repro.serving.theory` — M/D/1, M/M/1 and machine-repair
+  M/M/1//N closed forms the simulator is cross-validated against.
 """
 
-from repro.serving.arrivals import PoissonArrivals, Request, TraceArrivals
-from repro.serving.batcher import NO_BATCHING, DynamicBatcher
+from repro.serving.arrivals import (
+    ClosedLoopClients,
+    DayCurveArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    Request,
+    TraceArrivals,
+)
+from repro.serving.autoscale import Autoscaler
+from repro.serving.batcher import BATCH_ORDERS, NO_BATCHING, DynamicBatcher
 from repro.serving.faults import (
     AdmissionController,
     FaultInjector,
@@ -42,6 +58,7 @@ from repro.serving.faults import (
 )
 from repro.serving.fleet import (
     ChipFleet,
+    ExponentialServiceModel,
     FixedServiceModel,
     LinearServiceModel,
     PricingCache,
@@ -58,20 +75,30 @@ from repro.serving.report import (
     RequestRecord,
     RequestTable,
     RetryRecord,
+    ScaleEvent,
     ServingReport,
 )
 from repro.serving.sharded import SPLIT_POLICIES, ShardedServingSimulator
 from repro.serving.simulator import ServingSimulator
-from repro.serving.theory import MD1Queue, MM1Queue
+from repro.serving.slo import SLOClass, SLOPolicy
+from repro.serving.theory import MachineRepairQueue, MD1Queue, MM1Queue
 
 __all__ = [
     "Request",
     "PoissonArrivals",
     "TraceArrivals",
+    "MMPPArrivals",
+    "DayCurveArrivals",
+    "ClosedLoopClients",
     "DynamicBatcher",
     "NO_BATCHING",
+    "BATCH_ORDERS",
+    "SLOClass",
+    "SLOPolicy",
+    "Autoscaler",
     "ServiceModel",
     "FixedServiceModel",
+    "ExponentialServiceModel",
     "StarServiceModel",
     "LinearServiceModel",
     "TabulatedServiceModel",
@@ -92,10 +119,12 @@ __all__ = [
     "DropRecord",
     "RetryRecord",
     "FailureRecord",
+    "ScaleEvent",
     "ServingReport",
     "Profiler",
     "RunProfile",
     "PROFILER",
     "MD1Queue",
     "MM1Queue",
+    "MachineRepairQueue",
 ]

@@ -13,6 +13,14 @@ degenerates to pure FIFO single-request service (the M/D/1 regime the
 cross-validation tests exercise).  A non-zero timeout trades first-token
 latency for throughput: lightly-loaded systems hold requests briefly to
 amortise the batch's weight reads over more queries.
+
+``order`` selects how the queue is drained: ``"fifo"`` (arrival order,
+the default and the only behaviour before SLO classes existed) or
+``"edf"`` — earliest absolute deadline (``arrival_s + deadline_s``)
+first, so tight-deadline requests overtake loose ones and a batch is the
+``k`` most urgent queued requests.  Requests without a deadline sort
+last under EDF (their absolute deadline is ``inf``), with arrival order
+breaking ties.
 """
 
 from __future__ import annotations
@@ -21,7 +29,10 @@ from dataclasses import dataclass
 
 from repro.utils.validation import require_non_negative, require_positive
 
-__all__ = ["DynamicBatcher", "NO_BATCHING"]
+__all__ = ["BATCH_ORDERS", "DynamicBatcher", "NO_BATCHING"]
+
+#: Queue-drain orders a DynamicBatcher supports.
+BATCH_ORDERS = ("fifo", "edf")
 
 
 @dataclass(frozen=True)
@@ -35,14 +46,34 @@ class DynamicBatcher:
     max_wait_s:
         Longest the oldest queued request may wait for co-batched company
         before a partial batch is released anyway.
+    order:
+        Queue-drain order: ``"fifo"`` (arrival) or ``"edf"`` (earliest
+        absolute deadline first).
     """
 
     max_batch_size: int = 8
     max_wait_s: float = 0.0
+    order: str = "fifo"
 
     def __post_init__(self) -> None:
         require_positive(self.max_batch_size, "max_batch_size")
         require_non_negative(self.max_wait_s, "max_wait_s")
+        if self.order not in BATCH_ORDERS:
+            raise ValueError(
+                f"order must be one of {BATCH_ORDERS}, got {self.order!r}"
+            )
+
+    @classmethod
+    def edf(
+        cls, max_batch_size: int = 8, max_wait_s: float = 0.0
+    ) -> "DynamicBatcher":
+        """The deadline-aware variant: drain by earliest absolute deadline."""
+        return cls(max_batch_size=max_batch_size, max_wait_s=max_wait_s, order="edf")
+
+    @property
+    def deadline_ordered(self) -> bool:
+        """Whether this policy needs the deadline-aware dispatch path."""
+        return self.order == "edf"
 
     def ready(self, queue_len: int, oldest_wait_s: float) -> bool:
         """Should a batch be released to an idle chip right now?"""
@@ -65,7 +96,7 @@ class DynamicBatcher:
         if max_batch_size >= self.max_batch_size:
             return self
         return DynamicBatcher(
-            max_batch_size=max_batch_size, max_wait_s=self.max_wait_s
+            max_batch_size=max_batch_size, max_wait_s=self.max_wait_s, order=self.order
         )
 
 

@@ -41,6 +41,7 @@ from repro.utils.validation import require_non_negative, require_positive
 __all__ = [
     "ServiceModel",
     "FixedServiceModel",
+    "ExponentialServiceModel",
     "StarServiceModel",
     "LinearServiceModel",
     "TabulatedServiceModel",
@@ -69,21 +70,85 @@ class FixedServiceModel:
     benefit, which keeps the no-batching single-chip limit an exact M/D/1
     queue with service time ``request_latency_s``.  ``idle_power_w`` is the
     chip's standby draw, charged by the report over un-occupied time.
+
+    The ``sleep_*`` / ``wake_*`` fields are the synthetic power-state knobs
+    the autoscaler tests use: residual power while parked, the drain into
+    deep sleep, and the latency/energy of waking back up.  They default to
+    a chip that cannot sleep deeper than idle and wakes for free.
     """
 
     request_latency_s: float
     request_energy_j: float = 0.0
     idle_power_w: float = 0.0
     reprogram_latency_s: float = 0.0
+    sleep_power_w: float = 0.0
+    sleep_entry_latency_s: float = 0.0
+    wake_latency_s: float = 0.0
+    wake_energy_j: float = 0.0
 
     def __post_init__(self) -> None:
         require_positive(self.request_latency_s, "request_latency_s")
         require_non_negative(self.request_energy_j, "request_energy_j")
         require_non_negative(self.idle_power_w, "idle_power_w")
         require_non_negative(self.reprogram_latency_s, "reprogram_latency_s")
+        require_non_negative(self.sleep_power_w, "sleep_power_w")
+        if self.sleep_power_w > self.idle_power_w:
+            raise ValueError(
+                f"deep sleep must not draw more than idle: "
+                f"{self.sleep_power_w} W > {self.idle_power_w} W"
+            )
+        require_non_negative(self.sleep_entry_latency_s, "sleep_entry_latency_s")
+        require_non_negative(self.wake_latency_s, "wake_latency_s")
+        require_non_negative(self.wake_energy_j, "wake_energy_j")
 
     def batch_latency_s(self, batch_size: int, seq_len: int) -> float:
         return batch_size * self.request_latency_s
+
+    def batch_energy_j(self, batch_size: int, seq_len: int) -> float:
+        return batch_size * self.request_energy_j
+
+
+class ExponentialServiceModel:
+    """Exponential per-request service — the Markovian theory stand-in.
+
+    Each :meth:`batch_latency_s` call draws the batch's service time as a
+    sum of ``batch_size`` exponentials with mean ``mean_s`` from one seeded
+    generator, so runs are exactly reproducible in the seed and the
+    call-order of the simulator (which prices each dispatched batch
+    exactly once).  The single-chip, no-batching closed loop over this
+    model is precisely the machine-repair M/M/1//N system of
+    :class:`~repro.serving.theory.MachineRepairQueue`; the open-loop
+    variant is M/M/1.  Energy stays deterministic (``batch_size *
+    request_energy_j``): it is queried separately from the latency draw
+    and plays no role in the Markovian dynamics.
+    """
+
+    def __init__(
+        self,
+        mean_s: float,
+        request_energy_j: float = 0.0,
+        idle_power_w: float = 0.0,
+        seed: int | None = 0,
+    ) -> None:
+        import numpy as np
+
+        require_positive(mean_s, "mean_s")
+        require_non_negative(request_energy_j, "request_energy_j")
+        require_non_negative(idle_power_w, "idle_power_w")
+        self.mean_s = float(mean_s)
+        self.request_energy_j = float(request_energy_j)
+        self.idle_power_w = float(idle_power_w)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        """Rewind the draw stream (fresh runs replay the same services)."""
+        import numpy as np
+
+        self._rng = np.random.default_rng(self.seed)
+
+    def batch_latency_s(self, batch_size: int, seq_len: int) -> float:
+        return float(self._rng.exponential(self.mean_s, size=batch_size).sum())
 
     def batch_energy_j(self, batch_size: int, seq_len: int) -> float:
         return batch_size * self.request_energy_j
@@ -220,6 +285,44 @@ class StarServiceModel:
         )
         return workload.config.num_layers * per_layer
 
+    @property
+    def sleep_power_w(self) -> float:
+        """Deep-sleep power of one chip — what a parked chip still draws.
+
+        RRAM tile banks are non-volatile, so sleep gates the periphery
+        (ADCs, drivers, digital) and keeps only retention-level leakage;
+        see :class:`~repro.core.accelerator.PowerState`.  Falls back to
+        idle power when the chip declares no power state (it cannot sleep
+        deeper than idle).
+        """
+        return self.accelerator.resources.sleep_power_w(self.seq_len)
+
+    @property
+    def sleep_entry_latency_s(self) -> float:
+        """Drain-and-gate time before a parked chip reaches sleep power."""
+        return self.accelerator.resources.sleep_entry_latency_s
+
+    @property
+    def wake_latency_s(self) -> float:
+        """Sleep-to-serving latency: peripheral wake plus array re-bias.
+
+        The non-volatile arrays keep their conductances through sleep, so
+        waking is the power state's exit latency plus one tile-VMM-scale
+        re-bias settle (:meth:`~repro.core.batch_cost.BatchCostModel.wake_refresh_latency_s`)
+        — *not* a maintenance reprogram, which is only needed when the
+        stored state is suspect (chip repair).
+        """
+        resources = self.accelerator.resources
+        refresh = self.batch_cost.wake_refresh_latency_s(self.accelerator.matmul_engine)
+        return resources.wake_latency_s + refresh
+
+    @property
+    def wake_energy_j(self) -> float:
+        """Energy of one sleep-to-serving transition."""
+        resources = self.accelerator.resources
+        refresh = self.batch_cost.wake_refresh_energy_j(self.accelerator.matmul_engine)
+        return resources.wake_energy_j(self.seq_len) + refresh
+
     def _timing(self, batch_size: int, seq_len: int) -> tuple[float, float]:
         key = (self._fingerprint, batch_size, seq_len)
         cached = self.cache.get(key)
@@ -258,6 +361,26 @@ class LinearServiceModel:
         """Repair cost of the wrapped chip model (same hardware, same rewrite)."""
         return getattr(self.base, "reprogram_latency_s", 0.0)
 
+    @property
+    def sleep_power_w(self) -> float:
+        """Deep-sleep power of the wrapped chip (idle power if it cannot sleep)."""
+        return getattr(self.base, "sleep_power_w", self.idle_power_w)
+
+    @property
+    def sleep_entry_latency_s(self) -> float:
+        """Sleep-entry latency of the wrapped chip."""
+        return getattr(self.base, "sleep_entry_latency_s", 0.0)
+
+    @property
+    def wake_latency_s(self) -> float:
+        """Wake latency of the wrapped chip (same hardware, same re-bias)."""
+        return getattr(self.base, "wake_latency_s", 0.0)
+
+    @property
+    def wake_energy_j(self) -> float:
+        """Wake energy of the wrapped chip."""
+        return getattr(self.base, "wake_energy_j", 0.0)
+
     def batch_latency_s(self, batch_size: int, seq_len: int) -> float:
         return batch_size * self.base.batch_latency_s(1, seq_len)
 
@@ -282,6 +405,10 @@ class TabulatedServiceModel:
         table: dict[tuple[int, int], tuple[float, float]],
         idle_power_w: float = 0.0,
         reprogram_latency_s: float = 0.0,
+        sleep_power_w: float | None = None,
+        sleep_entry_latency_s: float = 0.0,
+        wake_latency_s: float = 0.0,
+        wake_energy_j: float = 0.0,
     ) -> None:
         if not table:
             raise ValueError("a tabulated service model needs at least one entry")
@@ -290,6 +417,18 @@ class TabulatedServiceModel:
         self.reprogram_latency_s = float(reprogram_latency_s)
         require_non_negative(self.idle_power_w, "idle_power_w")
         require_non_negative(self.reprogram_latency_s, "reprogram_latency_s")
+        # None means "cannot sleep deeper than idle" — mirror idle power so
+        # shipping a model through tabulation never invents a power state.
+        self.sleep_power_w = (
+            self.idle_power_w if sleep_power_w is None else float(sleep_power_w)
+        )
+        self.sleep_entry_latency_s = float(sleep_entry_latency_s)
+        self.wake_latency_s = float(wake_latency_s)
+        self.wake_energy_j = float(wake_energy_j)
+        require_non_negative(self.sleep_power_w, "sleep_power_w")
+        require_non_negative(self.sleep_entry_latency_s, "sleep_entry_latency_s")
+        require_non_negative(self.wake_latency_s, "wake_latency_s")
+        require_non_negative(self.wake_energy_j, "wake_energy_j")
 
     @classmethod
     def tabulate(
@@ -324,6 +463,10 @@ class TabulatedServiceModel:
             table,
             idle_power_w=getattr(model, "idle_power_w", 0.0),
             reprogram_latency_s=getattr(model, "reprogram_latency_s", 0.0),
+            sleep_power_w=getattr(model, "sleep_power_w", None),
+            sleep_entry_latency_s=getattr(model, "sleep_entry_latency_s", 0.0),
+            wake_latency_s=getattr(model, "wake_latency_s", 0.0),
+            wake_energy_j=getattr(model, "wake_energy_j", 0.0),
         )
 
     def _entry(self, batch_size: int, seq_len: int) -> tuple[float, float]:
@@ -412,6 +555,33 @@ class ChipFleet:
         return (
             getattr(self.models[chip], "reprogram_latency_s", 0.0) / self.speedups[chip]
         )
+
+    def sleep_power_w(self, chip: int) -> float:
+        """Deep-sleep power of one parked chip.
+
+        Falls back to the chip's idle power for service models that do not
+        declare a power state — a chip that cannot sleep saves nothing by
+        being parked, which keeps autoscaling energy accounting honest.
+        """
+        power = getattr(self.models[chip], "sleep_power_w", None)
+        return self.idle_power_w(chip) if power is None else power
+
+    def sleep_entry_latency_s(self, chip: int) -> float:
+        """Drain-and-gate time before a parked chip reaches sleep power."""
+        return getattr(self.models[chip], "sleep_entry_latency_s", 0.0)
+
+    def wake_latency_s(self, chip: int) -> float:
+        """Sleep-to-serving latency of one chip.
+
+        Deliberately *not* divided by the chip's speedup: waking is analog
+        supply ramp and re-bias settle, not compute, so a faster chip does
+        not wake faster.
+        """
+        return getattr(self.models[chip], "wake_latency_s", 0.0)
+
+    def wake_energy_j(self, chip: int) -> float:
+        """Energy of one sleep-to-serving transition of one chip."""
+        return getattr(self.models[chip], "wake_energy_j", 0.0)
 
     def tabulated(
         self, batch_sizes: Sequence[int], seq_lens: Sequence[int]

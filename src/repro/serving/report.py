@@ -47,6 +47,7 @@ __all__ = [
     "DropRecord",
     "RetryRecord",
     "FailureRecord",
+    "ScaleEvent",
     "ServingReport",
 ]
 
@@ -56,7 +57,9 @@ class RequestRecord:
     """Timestamps of one request's trip through the serving system.
 
     ``attempts`` counts failed service attempts before the completing one:
-    0 for every request of a healthy run.
+    0 for every request of a healthy run.  ``slo_class`` and ``deadline_s``
+    carry the request's SLO tag (class 0 with an infinite relative
+    deadline for untagged traffic, so pre-SLO runs are unchanged).
     """
 
     index: int
@@ -68,6 +71,8 @@ class RequestRecord:
     batch_size: int
     seq_len: int
     attempts: int = 0
+    slo_class: int = 0
+    deadline_s: float = float("inf")
 
     @property
     def wait_s(self) -> float:
@@ -78,6 +83,11 @@ class RequestRecord:
     def latency_s(self) -> float:
         """End-to-end request latency (arrival to completion)."""
         return self.completion_s - self.arrival_s
+
+    @property
+    def met_deadline(self) -> bool:
+        """Whether the request completed within its own relative deadline."""
+        return self.latency_s <= self.deadline_s
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,6 +132,8 @@ class RequestTable:
         "batch_size",
         "seq_len",
         "attempts",
+        "slo_class",
+        "deadline_s",
     )
 
     def __init__(
@@ -135,6 +147,8 @@ class RequestTable:
         batch_size,
         seq_len,
         attempts,
+        slo_class=None,
+        deadline_s=None,
     ) -> None:
         self.index = _column(index, np.int64)
         self.arrival_s = _column(arrival_s, np.float64)
@@ -145,6 +159,16 @@ class RequestTable:
         self.batch_size = _column(batch_size, np.int64)
         self.seq_len = _column(seq_len, np.int64)
         self.attempts = _column(attempts, np.int64)
+        # SLO columns default to the untagged state so pre-SLO callers
+        # (and pickles) keep constructing 9-column tables unchanged.
+        if slo_class is None:
+            self.slo_class = np.zeros(self.index.size, dtype=np.int64)
+        else:
+            self.slo_class = _column(slo_class, np.int64)
+        if deadline_s is None:
+            self.deadline_s = np.full(self.index.size, np.inf, dtype=np.float64)
+        else:
+            self.deadline_s = _column(deadline_s, np.float64)
         length = self.index.size
         for name in self.__slots__:
             if getattr(self, name).size != length:
@@ -170,6 +194,8 @@ class RequestTable:
             [r.batch_size for r in records],
             [r.seq_len for r in records],
             [r.attempts for r in records],
+            [r.slo_class for r in records],
+            [r.deadline_s for r in records],
         )
 
     @classmethod
@@ -195,6 +221,8 @@ class RequestTable:
             batch_size=int(self.batch_size[i]),
             seq_len=int(self.seq_len[i]),
             attempts=int(self.attempts[i]),
+            slo_class=int(self.slo_class[i]),
+            deadline_s=float(self.deadline_s[i]),
         )
 
     def __iter__(self) -> Iterator[RequestRecord]:
@@ -218,6 +246,15 @@ class RequestTable:
     def wait_s(self) -> np.ndarray:
         """Queueing delays before dispatch, one per completed request."""
         return self.dispatch_s - self.arrival_s
+
+    @property
+    def met_deadline(self) -> np.ndarray:
+        """Boolean per request: completed within its own relative deadline.
+
+        Untagged requests carry an infinite deadline and always count as
+        met, so overall attainment over mixed traffic is well defined.
+        """
+        return self.latency_s <= self.deadline_s
 
 
 class BatchTable:
@@ -362,6 +399,43 @@ class FailureRecord:
         return self.repaired_s - self.fail_s
 
 
+#: Directions an autoscaler can move a chip.
+SCALE_ACTIONS = ("sleep", "wake")
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaler decision acting on one chip.
+
+    ``time_s`` is when the decision was taken; ``ready_s`` when the chip
+    actually reached the target state (sleep power after the drain, or
+    serving-ready after the wake ramp plus array re-bias).  ``energy_j``
+    is the transition's energy — wake-up for ``"wake"`` events, 0 for
+    sleeps.
+    """
+
+    chip: int
+    time_s: float
+    action: str
+    ready_s: float
+    energy_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in SCALE_ACTIONS:
+            raise ValueError(
+                f"action must be one of {SCALE_ACTIONS}, got {self.action!r}"
+            )
+        if self.ready_s < self.time_s:
+            raise ValueError(
+                f"ready_s {self.ready_s} precedes the decision at {self.time_s}"
+            )
+
+    @property
+    def transition_s(self) -> float:
+        """How long the power-state transition took."""
+        return self.ready_s - self.time_s
+
+
 def _as_request_table(requests) -> RequestTable:
     if isinstance(requests, RequestTable):
         return requests
@@ -403,6 +477,10 @@ class ServingReport:
     deadline_s: float | None = None
     faults_enabled: bool = False
     num_shards: int = 1
+    scale_events: tuple[ScaleEvent, ...] = ()
+    chip_sleep_s: tuple[float, ...] = ()
+    chip_sleep_power_w: tuple[float, ...] = ()
+    autoscale_enabled: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "requests", _as_request_table(self.requests))
@@ -436,6 +514,7 @@ class ServingReport:
         request_tables: list[RequestTable] = []
         batch_tables: list[BatchTable] = []
         failures: list[FailureRecord] = []
+        scale_events: list[ScaleEvent] = []
         chip_offset = 0
         batch_offset = 0
         for report in reports:
@@ -452,6 +531,8 @@ class ServingReport:
                     requests.batch_size,
                     requests.seq_len,
                     requests.attempts,
+                    requests.slo_class,
+                    requests.deadline_s,
                 )
             )
             batch_tables.append(
@@ -467,6 +548,9 @@ class ServingReport:
             )
             failures.extend(
                 replace(f, chip=f.chip + chip_offset) for f in report.failures
+            )
+            scale_events.extend(
+                replace(e, chip=e.chip + chip_offset) for e in report.scale_events
             )
             chip_offset += report.num_chips
             batch_offset += len(batches)
@@ -488,6 +572,14 @@ class ServingReport:
             deadline_s=reports[0].deadline_s,
             faults_enabled=any(r.faults_enabled for r in reports),
             num_shards=sum(r.num_shards for r in reports),
+            scale_events=tuple(scale_events),
+            chip_sleep_s=tuple(
+                sleep for report in reports for sleep in report.chip_sleep_s
+            ),
+            chip_sleep_power_w=tuple(
+                power for report in reports for power in report.chip_sleep_power_w
+            ),
+            autoscale_enabled=any(r.autoscale_enabled for r in reports),
         )
 
     # ------------------------------------------------------------------ #
@@ -615,20 +707,45 @@ class ServingReport:
         """Total active energy spent serving all batches."""
         return float(np.sum(self.batches.energy_j))
 
+    def _chip_sleep(self, chip: int) -> float:
+        return self.chip_sleep_s[chip] if chip < len(self.chip_sleep_s) else 0.0
+
     @property
     def idle_energy_j(self) -> float:
-        """Leakage / standby energy over the fleet's un-occupied time.
+        """Leakage / standby energy over the fleet's un-occupied awake time.
 
         Each chip pays its idle power for the share of the makespan it was
-        not serving a batch; zero when no idle power was modelled.
+        neither serving a batch nor parked in deep sleep by the autoscaler
+        (sleep time is charged separately at the sleep power); zero when
+        no idle power was modelled.
         """
         if not self.chip_idle_power_w:
             return 0.0
         span = self.makespan_s
         return sum(
-            power * max(0.0, span - busy)
-            for power, busy in zip(self.chip_idle_power_w, self.chip_busy_s)
+            power * max(0.0, span - busy - self._chip_sleep(chip))
+            for chip, (power, busy) in enumerate(
+                zip(self.chip_idle_power_w, self.chip_busy_s)
+            )
         )
+
+    @property
+    def sleep_energy_j(self) -> float:
+        """Residual energy of autoscaler-parked chips over their sleep time.
+
+        Non-volatile tile banks retain state through sleep, so this is
+        retention-level leakage — far below idle power, which is the whole
+        point of scaling down.
+        """
+        return sum(
+            power * sleep
+            for power, sleep in zip(self.chip_sleep_power_w, self.chip_sleep_s)
+        )
+
+    @property
+    def wake_energy_j(self) -> float:
+        """Energy of the sleep-to-serving transitions the autoscaler triggered."""
+        return sum(e.energy_j for e in self.scale_events)
 
     @property
     def wasted_energy_j(self) -> float:
@@ -637,8 +754,14 @@ class ServingReport:
 
     @property
     def total_energy_j(self) -> float:
-        """Active plus idle energy over the run, including wasted work."""
-        return self.energy_j + self.idle_energy_j + self.wasted_energy_j
+        """Active, idle, sleep and wake energy over the run, plus wasted work."""
+        return (
+            self.energy_j
+            + self.idle_energy_j
+            + self.sleep_energy_j
+            + self.wake_energy_j
+            + self.wasted_energy_j
+        )
 
     @property
     def active_energy_per_query_j(self) -> float:
@@ -704,6 +827,99 @@ class ServingReport:
         """Deadline-meeting completions per second of makespan."""
         span = self.makespan_s
         return self.num_good / span if span > 0 else float("inf")
+
+    # ------------------------------------------------------------------ #
+    # SLO classes and deadlines (per-request tags)
+    # ------------------------------------------------------------------ #
+    @property
+    def slo_enabled(self) -> bool:
+        """Whether any completed request carried an SLO tag."""
+        if not len(self.requests):
+            return False
+        return bool(
+            np.any(self.requests.slo_class != 0)
+            or np.any(np.isfinite(self.requests.deadline_s))
+        )
+
+    @property
+    def slo_classes(self) -> tuple[int, ...]:
+        """Distinct SLO classes among completed requests, ascending."""
+        if not len(self.requests):
+            return ()
+        return tuple(int(c) for c in np.unique(self.requests.slo_class))
+
+    def _class_mask(self, slo_class: int | None) -> np.ndarray:
+        if slo_class is None:
+            return np.ones(len(self.requests), dtype=bool)
+        return self.requests.slo_class == slo_class
+
+    def num_in_class(self, slo_class: int) -> int:
+        """Completed requests tagged with one SLO class."""
+        return int(np.count_nonzero(self._class_mask(slo_class)))
+
+    def class_latency_percentile_s(self, slo_class: int | None, q: float) -> float:
+        """Latency percentile within one class (``None`` pools all classes)."""
+        latencies = self.requests.latency_s[self._class_mask(slo_class)]
+        if latencies.size == 0:
+            return float("nan")
+        return float(percentile(latencies, q))
+
+    def class_mean_latency_s(self, slo_class: int | None) -> float:
+        """Mean latency within one class (NaN with no members)."""
+        latencies = self.requests.latency_s[self._class_mask(slo_class)]
+        if latencies.size == 0:
+            return float("nan")
+        return float(np.mean(latencies))
+
+    def num_deadline_misses(self, slo_class: int | None = None) -> int:
+        """Completed requests that overran their own relative deadline."""
+        mask = self._class_mask(slo_class)
+        return int(np.count_nonzero(mask & ~self.requests.met_deadline))
+
+    def deadline_attainment(self, slo_class: int | None = None) -> float:
+        """Fraction of completions meeting their own deadline (1.0 with none).
+
+        Per-request: each completion is judged against the deadline it
+        arrived with, so mixed-SLO traffic has one well-defined overall
+        figure (untagged requests carry ``inf`` and always count as met).
+        """
+        total = int(np.count_nonzero(self._class_mask(slo_class)))
+        if total == 0:
+            return 1.0
+        return 1.0 - self.num_deadline_misses(slo_class) / total
+
+    # ------------------------------------------------------------------ #
+    # autoscaling (power-state transitions)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_scale_events(self) -> int:
+        """Autoscaler sleep/wake decisions over the run."""
+        return len(self.scale_events)
+
+    @property
+    def num_wakes(self) -> int:
+        """Sleep-to-serving transitions over the run."""
+        return sum(1 for e in self.scale_events if e.action == "wake")
+
+    @property
+    def total_sleep_s(self) -> float:
+        """Summed chip-seconds spent in deep sleep across the fleet."""
+        return sum(self.chip_sleep_s)
+
+    def chip_sleep_fraction(self, chip: int) -> float:
+        """Share of the makespan one chip spent parked."""
+        span = self.makespan_s
+        if span <= 0:
+            return 0.0
+        return self._chip_sleep(chip) / span
+
+    @property
+    def mean_awake_chips(self) -> float:
+        """Time-averaged number of chips not in deep sleep."""
+        span = self.makespan_s
+        if span <= 0:
+            return float(self.num_chips)
+        return self.num_chips - self.total_sleep_s / span
 
     @property
     def num_failures(self) -> int:
@@ -784,7 +1000,51 @@ class ServingReport:
                     "wasted_energy_j": self.wasted_energy_j,
                 }
             )
+        if self.slo_enabled:
+            summary["deadline_attainment"] = self.deadline_attainment()
+            summary["num_deadline_misses"] = float(self.num_deadline_misses())
+        if self.autoscale_enabled:
+            summary.update(
+                {
+                    "num_scale_events": float(self.num_scale_events),
+                    "mean_awake_chips": self.mean_awake_chips,
+                    "sleep_energy_j": self.sleep_energy_j,
+                    "wake_energy_j": self.wake_energy_j,
+                }
+            )
         return summary
+
+    def format_slo(self) -> str:
+        """Printable per-class SLO section of a tagged run."""
+        lines = []
+        for slo_class in self.slo_classes:
+            count = self.num_in_class(slo_class)
+            p50 = self.class_latency_percentile_s(slo_class, 50.0)
+            p99 = self.class_latency_percentile_s(slo_class, 99.0)
+            attainment = self.deadline_attainment(slo_class)
+            lines.append(
+                f"class {slo_class} ({count} req)      : p50/p99 "
+                f"{p50 * 1e6:.1f} / {p99 * 1e6:.1f} us, "
+                f"attainment {attainment * 100:.1f}%"
+            )
+        lines.append(
+            f"deadline attainment     : {self.deadline_attainment() * 100:.1f}% "
+            f"({self.num_deadline_misses()} miss(es) overall)"
+        )
+        return "\n".join(lines)
+
+    def format_autoscale(self) -> str:
+        """Printable power-state section of an autoscaled run."""
+        return "\n".join(
+            [
+                f"autoscaler              : {self.num_scale_events} transition(s), "
+                f"{self.num_wakes} wake(s)",
+                f"mean awake chips        : {self.mean_awake_chips:.2f} of "
+                f"{self.num_chips} (slept {self.total_sleep_s:.1f} chip-s)",
+                f"sleep / wake energy     : {self.sleep_energy_j * 1e3:.2f} mJ / "
+                f"{self.wake_energy_j * 1e3:.2f} mJ",
+            ]
+        )
 
     def format_availability(self) -> str:
         """Printable availability section of a fault-injected run."""
@@ -822,6 +1082,10 @@ class ServingReport:
             f"energy per query        : {self.energy_per_query_j * 1e6:.2f} uJ "
             f"(active only {self.active_energy_per_query_j * 1e6:.2f} uJ)",
         ]
+        if self.slo_enabled:
+            lines.append(self.format_slo())
+        if self.autoscale_enabled:
+            lines.append(self.format_autoscale())
         if self.faults_enabled:
             lines.append(self.format_availability())
         return "\n".join(lines)

@@ -56,6 +56,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.serving.arrivals import PoissonArrivals, Request, requests_from_arrays
+from repro.serving.autoscale import Autoscaler
 from repro.serving.batcher import NO_BATCHING, DynamicBatcher
 from repro.serving.faults import AdmissionController, FaultInjector, RetryPolicy
 from repro.serving.fleet import ChipFleet, ServiceModel
@@ -87,10 +88,13 @@ class _ShardTask:
     faults: FaultInjector | None
     retry: RetryPolicy | None
     admission: AdmissionController | None
+    autoscaler: Autoscaler | None = None
     # explicit split: compact arrays (rebuilt into requests in the worker)
     times: np.ndarray | None = None
     lens: np.ndarray | None = None
     indices: np.ndarray | None = None
+    slo_classes: np.ndarray | None = None
+    deadlines: np.ndarray | None = None
     # generated split: an arrival process the worker runs itself
     arrivals: PoissonArrivals | None = None
     num_requests: int = 0
@@ -106,6 +110,7 @@ def _empty_report(
     fleet) instead of failing a run because one shard of many got nothing.
     """
     retry = simulator.retry if simulator.retry is not None else RetryPolicy()
+    autoscaled = simulator.autoscaler is not None
     return ServingReport(
         num_chips=fleet.num_chips,
         requests=RequestTable.empty(),
@@ -117,6 +122,15 @@ def _empty_report(
         ),
         deadline_s=retry.deadline_s if simulator.fault_aware else None,
         faults_enabled=simulator.fault_aware,
+        # keep the merged per-chip sleep columns aligned: an empty autoscaled
+        # shard still contributes one (zero) entry per chip
+        chip_sleep_s=(0.0,) * fleet.num_chips if autoscaled else (),
+        chip_sleep_power_w=tuple(
+            fleet.sleep_power_w(chip) for chip in range(fleet.num_chips)
+        )
+        if autoscaled
+        else (),
+        autoscale_enabled=autoscaled,
     )
 
 
@@ -129,11 +143,18 @@ def _simulate_shard(task: _ShardTask) -> tuple[ServingReport, RunProfile | None]
         faults=task.faults,
         retry=task.retry,
         admission=task.admission,
+        autoscaler=task.autoscaler,
     )
     if task.arrivals is not None:
         requests = task.arrivals.generate(task.num_requests, task.index_offset)
     else:
-        requests = requests_from_arrays(task.times, task.lens, task.indices.tolist())
+        requests = requests_from_arrays(
+            task.times,
+            task.lens,
+            task.indices.tolist(),
+            slo_classes=task.slo_classes,
+            deadlines=task.deadlines,
+        )
     if not requests:
         return _empty_report(fleet, simulator), None
     report = simulator.run(requests, label=f"shard {task.shard}/{task.num_shards}")
@@ -165,6 +186,7 @@ class ShardedServingSimulator:
         faults: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
         admission: AdmissionController | None = None,
+        autoscaler: Autoscaler | None = None,
         parallel: bool = True,
         max_workers: int | None = None,
     ) -> None:
@@ -182,6 +204,7 @@ class ShardedServingSimulator:
         self.faults = faults
         self.retry = retry
         self.admission = admission
+        self.autoscaler = autoscaler
         self.parallel = parallel
         self.max_workers = max_workers
         #: Per-shard reports and hot-path profiles of the latest run.
@@ -238,6 +261,7 @@ class ShardedServingSimulator:
                 faults=faults[shard],
                 retry=self.retry,
                 admission=self.admission,
+                autoscaler=self.autoscaler,
             )
             for shard, chips in enumerate(self._chip_slices())
         ]
@@ -310,12 +334,24 @@ class ShardedServingSimulator:
         indices = np.fromiter(
             (r.index for r in requests), dtype=np.int64, count=len(requests)
         )
+        slo_classes = np.fromiter(
+            (r.slo_class for r in requests), dtype=np.int64, count=len(requests)
+        )
+        deadlines = np.fromiter(
+            (r.deadline_s for r in requests), dtype=np.float64, count=len(requests)
+        )
+        # ship the SLO columns only when some request is actually tagged,
+        # keeping untagged shard tasks byte-identical to the pre-SLO format
+        tagged = bool(slo_classes.any() or np.isfinite(deadlines).any())
         tasks = self._tasks()
         for shard, task in enumerate(tasks):
             mine = assignment == shard
             task.times = times[mine]
             task.lens = lens[mine]
             task.indices = indices[mine]
+            if tagged:
+                task.slo_classes = slo_classes[mine]
+                task.deadlines = deadlines[mine]
         return self._execute(tasks)
 
     def run_poisson(

@@ -104,6 +104,8 @@ def _assemble_tables(
     b_size: list[int],
     b_seq_len: list[int],
     b_energy: list[float],
+    req_slo: list[int] | None = None,
+    req_deadline: list[float] | None = None,
 ) -> tuple[RequestTable, BatchTable]:
     """Build the report tables from the hot loop's column lists.
 
@@ -129,6 +131,8 @@ def _assemble_tables(
         np.zeros(len(req_index), dtype=np.int64)
         if req_attempts is None
         else np.asarray(req_attempts, dtype=np.int64),
+        None if req_slo is None else np.asarray(req_slo, dtype=np.int64),
+        None if req_deadline is None else np.asarray(req_deadline, dtype=np.float64),
     )
     batches = BatchTable(
         np.arange(len(b_chip), dtype=np.int64),
@@ -173,13 +177,21 @@ class ServingSimulator:
         faults: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
         admission: AdmissionController | None = None,
+        autoscaler=None,
     ) -> None:
         self.fleet = fleet
         self.batcher = batcher
         self.faults = faults
         self.retry = retry
         self.admission = admission
+        self.autoscaler = autoscaler
         self.last_profile: RunProfile | None = None
+        if self.fault_aware and self.slo_aware:
+            raise ValueError(
+                "fault injection and the SLO/autoscale control plane cannot "
+                "be combined in one run yet: pass either faults/retry/"
+                "admission or an EDF batcher/autoscaler, not both"
+            )
 
     @property
     def fault_aware(self) -> bool:
@@ -189,6 +201,11 @@ class ServingSimulator:
             or self.retry is not None
             or self.admission is not None
         )
+
+    @property
+    def slo_aware(self) -> bool:
+        """Whether runs need the control-plane path (EDF order or autoscaling)."""
+        return self.autoscaler is not None or self.batcher.deadline_ordered
 
     def run(self, requests: Sequence[Request], label: str = "serving") -> ServingReport:
         """Serve every request and report the completed run.
@@ -203,8 +220,49 @@ class ServingSimulator:
         start = _time.perf_counter()
         if self.fault_aware:
             report, loop, dispatch_calls = self._run_fault_aware(ordered)
+        elif self.slo_aware:
+            from repro.serving.slo import run_control_plane
+
+            report, loop, dispatch_calls = run_control_plane(
+                self.fleet, self.batcher, self.autoscaler, requests=ordered
+            )
         else:
             report, loop, dispatch_calls = self._run_healthy(ordered)
+        self.last_profile = RunProfile(
+            label=label,
+            events_scheduled=loop.events_scheduled,
+            events_popped=loop.events_popped,
+            dispatch_calls=dispatch_calls,
+            num_requests=report.num_requests,
+            num_batches=report.num_batches,
+            wall_s=_time.perf_counter() - start,
+        )
+        PROFILER.record(self.last_profile)
+        return report
+
+    def run_closed_loop(
+        self, clients, num_requests: int, label: str = "closed-loop"
+    ) -> ServingReport:
+        """Serve ``num_requests`` issued by closed-loop clients.
+
+        Arrivals react to completions (think -> request -> completion ->
+        think), so this always takes the control-plane path — with a FIFO
+        batcher and no autoscaler it is the plain machine-repair closed
+        queue the theory module cross-validates.  Fault injection is not
+        supported on this path.
+        """
+        if self.fault_aware:
+            raise ValueError("closed-loop runs do not support fault injection")
+        from repro.serving.slo import run_control_plane
+
+        start = _time.perf_counter()
+        report, loop, dispatch_calls = run_control_plane(
+            self.fleet,
+            self.batcher,
+            self.autoscaler,
+            clients=clients,
+            num_requests=num_requests,
+        )
         self.last_profile = RunProfile(
             label=label,
             events_scheduled=loop.events_scheduled,
@@ -231,6 +289,8 @@ class ServingSimulator:
         req_index: list[int] = []
         req_arrival: list[float] = []
         req_batch: list[int] = []
+        req_slo: list[int] = []
+        req_deadline: list[float] = []
         b_chip: list[int] = []
         b_dispatch: list[float] = []
         b_completion: list[float] = []
@@ -288,6 +348,8 @@ class ServingSimulator:
                     req_index.append(r.index)
                     req_arrival.append(r.arrival_s)
                     req_batch.append(batch_row)
+                    req_slo.append(r.slo_class)
+                    req_deadline.append(r.deadline_s)
 
         while loop:
             time, kind, data = loop.pop()
@@ -314,6 +376,7 @@ class ServingSimulator:
         requests, batches = _assemble_tables(
             req_index, req_arrival, req_batch, None,
             b_chip, b_dispatch, b_completion, b_size, b_seq_len, b_energy,
+            req_slo, req_deadline,
         )
         report = ServingReport(
             num_chips=self.fleet.num_chips,
@@ -351,6 +414,8 @@ class ServingSimulator:
         req_arrival: list[float] = []
         req_batch: list[int] = []
         req_attempts: list[int] = []
+        req_slo: list[int] = []
+        req_deadline: list[float] = []
         b_chip: list[int] = []
         b_dispatch: list[float] = []
         b_completion: list[float] = []
@@ -483,6 +548,8 @@ class ServingSimulator:
                     req_arrival.append(r.arrival_s)
                     req_batch.append(batch_row)
                     req_attempts.append(attempts.get(r.index, 0))
+                    req_slo.append(r.slo_class)
+                    req_deadline.append(r.deadline_s)
                 outstanding -= len(info["members"])
                 loop.schedule(time, _DISPATCH)
             elif kind == TIMEOUT:
@@ -573,6 +640,7 @@ class ServingSimulator:
         requests, batches = _assemble_tables(
             req_index, req_arrival, req_batch, req_attempts,
             b_chip, b_dispatch, b_completion, b_size, b_seq_len, b_energy,
+            req_slo, req_deadline,
         )
         report = ServingReport(
             num_chips=num_chips,

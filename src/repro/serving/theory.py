@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from repro.utils.validation import require_positive
 
-__all__ = ["MD1Queue", "MM1Queue"]
+__all__ = ["MD1Queue", "MM1Queue", "MachineRepairQueue"]
 
 
 class _SingleServerQueue:
@@ -98,3 +98,80 @@ class MM1Queue(_SingleServerQueue):
         """Mean wait with exponential service — twice the M/D/1 wait."""
         rho = self.utilization
         return rho * self.service_s / (1.0 - rho)
+
+
+@dataclass(frozen=True)
+class MachineRepairQueue:
+    """M/M/1//N — the closed machine-repair / interactive-system queue.
+
+    ``num_clients`` users cycle between an exponential think phase (mean
+    ``think_s``) and one exponential server (mean ``service_s``): exactly
+    the steady state of :class:`~repro.serving.arrivals.ClosedLoopClients`
+    driving a single chip with exponential service and no batching.  The
+    finite population makes the system self-throttling — it is *always*
+    stable, unlike the open-loop queues above — and fully solvable:
+
+        p_n / p_0 = N! / (N - n)! * (s / Z)^n        (n clients at the server)
+
+    from which throughput is ``X = (1 - p_0) / s`` (the server completes
+    at rate ``1/s`` whenever busy) and the mean response time follows from
+    the **interactive response-time law** — Little's law over the whole
+    cycle: ``N = X * (R + Z)``, so ``R = N / X - Z``.  The closed-loop
+    cross-validation suite pins the simulator to these formulas.
+    """
+
+    num_clients: int
+    think_s: float
+    service_s: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_clients, "num_clients")
+        require_positive(self.think_s, "think_s")
+        require_positive(self.service_s, "service_s")
+
+    def _probabilities(self) -> list[float]:
+        """Steady-state ``p_n`` of ``n`` clients at the server (birth-death solve)."""
+        ratio = self.service_s / self.think_s
+        terms = [1.0]
+        for n in range(1, self.num_clients + 1):
+            terms.append(terms[-1] * (self.num_clients - n + 1) * ratio)
+        total = sum(terms)
+        return [term / total for term in terms]
+
+    @property
+    def utilization(self) -> float:
+        """Server busy fraction ``1 - p_0`` (always below 1: closed loops saturate, never diverge)."""
+        return 1.0 - self._probabilities()[0]
+
+    @property
+    def throughput_rps(self) -> float:
+        """System throughput ``X = (1 - p_0) / s``."""
+        return self.utilization / self.service_s
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean response time from the interactive law ``R = N / X - Z``."""
+        return self.num_clients / self.throughput_rps - self.think_s
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Mean queueing delay before service starts."""
+        return self.mean_latency_s - self.service_s
+
+    @property
+    def mean_at_server(self) -> float:
+        """Mean clients queued or in service (Little: ``X * R``)."""
+        return self.throughput_rps * self.mean_latency_s
+
+    @property
+    def bottleneck_throughput_rps(self) -> float:
+        """Asymptotic bound ``min(N / (Z + s), 1 / s)`` — the capacity ceiling.
+
+        Small populations are think-limited (each client cycles every
+        ``Z + s`` at best), large ones server-limited; the exact ``X``
+        approaches whichever bound binds.
+        """
+        return min(
+            self.num_clients / (self.think_s + self.service_s),
+            1.0 / self.service_s,
+        )

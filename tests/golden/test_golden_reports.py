@@ -2,10 +2,11 @@
 
 Each deterministic experiment report (E4 bit-widths, E7 pipeline
 ablation, E8 precision sweep, E9 noise corners, E10 serving, E11
-fault-injected serving) is compared line-for-line against a committed
-golden file.  E10's golden doubles as the healthy-path bit-identity
-guard: the fault machinery must not move a single character of the
-no-faults serving report.  The reports are fully
+fault-injected serving, E12 SLO control plane) is compared line-for-line
+against a committed golden file.  E10's golden doubles as the
+healthy-path bit-identity guard: neither the fault machinery nor the
+SLO/autoscale control plane may move a single character of the
+open-loop FIFO no-autoscaler serving report.  The reports are fully
 deterministic (seeded generators, ideal devices or seeded noise), so any
 diff is a behaviour change — either a regression to investigate or an
 intentional improvement to re-bless:
@@ -27,7 +28,7 @@ import pytest
 from repro.experiments import run_experiment
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
-GOLDEN_EXPERIMENTS = ("e4", "e7", "e8", "e9", "e10", "e11")
+GOLDEN_EXPERIMENTS = ("e4", "e7", "e8", "e9", "e10", "e11", "e12")
 
 
 def golden_path(experiment_id: str) -> Path:

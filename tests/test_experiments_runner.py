@@ -9,8 +9,8 @@ from repro.experiments.__main__ import main as cli_main
 
 
 class TestRunner:
-    def test_all_eleven_experiments_registered(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 12)}
+    def test_all_twelve_experiments_registered(self):
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 13)}
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
@@ -45,6 +45,13 @@ class TestRunner:
         assert "baseline (no faults)" in report
         assert "shed goodput" in report and "queue goodput" in report
         assert "avail" in report
+
+    def test_e12_report_shows_slo_control_plane(self):
+        report = run_experiment("e12")
+        assert "SLO-aware serving control plane" in report
+        assert "fifo" in report and "edf" in report
+        assert "closed-loop check" in report
+        assert "autoscale" in report
 
     def test_case_insensitive_ids(self):
         assert run_experiment("E2") == run_experiment("e2")
