@@ -30,6 +30,12 @@ the machine-repair M/M/1//N closed form; and a diurnal autoscaling
 comparison where a hysteresis controller parks chips into non-volatile
 deep sleep overnight and the energy ledger shows what that buys against
 the always-on fleet.
+
+:class:`TieredServingAnalyzer` is the E13 experiment: the same fleet and
+request stream served at growing fidelity-sampling fractions — analytic
+only, then 5%/25%/100% of dispatches priced on cached executed-schedule
+templates with per-layer jitter — showing pipeline-level tail variation
+propagating into request-level p99 at near-analytic cost.
 """
 
 from __future__ import annotations
@@ -78,6 +84,8 @@ __all__ = [
     "ClosedLoopValidationRow",
     "AutoscaleComparisonRow",
     "SLOServingAnalyzer",
+    "TieredFidelityRow",
+    "TieredServingAnalyzer",
     "sleep_capable_star_model",
 ]
 
@@ -1074,4 +1082,134 @@ class SLOServingAnalyzer:
             f"p99 {auto.p99_latency_s * 1e3:.2f} vs "
             f"{base.p99_latency_s * 1e3:.2f} ms"
         )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TieredFidelityRow:
+    """One sampling fraction on identical arrivals and base pricing."""
+
+    sample_fraction: float
+    report: ServingReport
+
+    @property
+    def executed_fraction(self) -> float:
+        """Realized fraction of batches priced on the executed tier."""
+        return self.report.executed_batch_fraction
+
+
+class TieredServingAnalyzer:
+    """Fidelity tiering on one fleet and one request stream (E13).
+
+    Serves the *same* Poisson stream once per sampling fraction: the
+    analytic-only baseline (``sample_fraction = 0``, bit-identical to a
+    plain :class:`~repro.serving.fleet.StarServiceModel` fleet), then
+    growing Bernoulli fractions of dispatches priced on cached
+    executed-schedule templates (:mod:`repro.core.schedule_cache`) with
+    per-layer lognormal jitter.  Because the executed tier's draws are
+    bounded below by the jitter-free critical path while the analytic tier
+    never moves, the sampled runs' p50/p99 rise with the fraction — the
+    pipeline-level tail variation the analytic model cannot see
+    propagating into request-level percentiles.
+
+    Deterministic by construction (seeded arrivals, seeded sampling
+    streams, no wall-clock content), so its table is golden-pinned as e13.
+    """
+
+    def __init__(
+        self,
+        service_model: ServiceModel | None = None,
+        num_chips: int = 2,
+        seq_len: int = 256,
+        num_requests: int = 2000,
+        seed: int = 0,
+        load_factor: float = 0.5,
+        max_batch_size: int = 8,
+        max_wait_s: float = 2e-3,
+        jitter_sigma: float = 0.3,
+    ) -> None:
+        require_positive(num_chips, "num_chips")
+        require_positive(num_requests, "num_requests")
+        require_positive(load_factor, "load_factor")
+        require_positive(jitter_sigma, "jitter_sigma")
+        self.service_model = service_model or StarServiceModel(seq_len=seq_len)
+        self.num_chips = num_chips
+        self.seq_len = seq_len
+        self.num_requests = num_requests
+        self.seed = seed
+        self.load_factor = load_factor
+        self.batcher = DynamicBatcher(
+            max_batch_size=max_batch_size, max_wait_s=max_wait_s
+        )
+        self.jitter_sigma = jitter_sigma
+
+    def _requests(self):
+        capacity = (
+            self.num_chips
+            * self.batcher.max_batch_size
+            / self.service_model.batch_latency_s(
+                self.batcher.max_batch_size, self.seq_len
+            )
+        )
+        arrivals = PoissonArrivals(
+            self.load_factor * capacity, seq_len=self.seq_len, seed=self.seed
+        )
+        return arrivals.generate(self.num_requests)
+
+    def row_for(self, sample_fraction: float) -> TieredFidelityRow:
+        """Serve the stream with ``sample_fraction`` of dispatches executed."""
+        from repro.serving.fleet import TieredServiceModel
+
+        if sample_fraction > 0.0:
+            model: ServiceModel = TieredServiceModel(
+                self.service_model,
+                sample_fraction=sample_fraction,
+                jitter_sigma=self.jitter_sigma,
+                seed=self.seed,
+            )
+        else:
+            # the analytic-only arm is the *unwrapped* base model — the
+            # wrapped fraction-0 form is pinned bit-identical elsewhere
+            model = self.service_model
+        fleet = ChipFleet(model, num_chips=self.num_chips)
+        report = ServingSimulator(fleet, self.batcher).run(self._requests())
+        return TieredFidelityRow(sample_fraction=sample_fraction, report=report)
+
+    def sweep_rows(
+        self, fractions: tuple[float, ...] = (0.0, 0.05, 0.25, 1.0)
+    ) -> list[TieredFidelityRow]:
+        """The fidelity sweep over growing sampled fractions."""
+        return [self.row_for(fraction) for fraction in fractions]
+
+    def format_table(
+        self, fractions: tuple[float, ...] = (0.0, 0.05, 0.25, 1.0)
+    ) -> str:
+        """Printable fidelity sweep: tail metrics per sampled fraction.
+
+        ``x base`` is each run's p99 over the first (analytic-only) row's
+        p99 — the tail-propagation headline.  ``exec p99`` is the p99 of
+        the executed-tier requests alone (small-sample noisy at low
+        fractions; ``-`` when the tier is empty).
+        """
+        rows = self.sweep_rows(fractions)
+        baseline_p99 = rows[0].report.p99_latency_s
+        lines = [
+            f"{'sampled':>8} {'executed':>9} {'p50 (ms)':>9} {'p95 (ms)':>9} "
+            f"{'p99 (ms)':>9} {'exec p99':>9} {'x base':>7}"
+        ]
+        for row in rows:
+            report = row.report
+            executed_p99 = report.tier_latency_percentile_s(1, 99.0)
+            executed_ms = (
+                f"{executed_p99 * 1e3:>9.2f}"
+                if executed_p99 == executed_p99
+                else f"{'-':>9}"
+            )
+            lines.append(
+                f"{row.sample_fraction:>8.2f} {row.executed_fraction:>9.3f} "
+                f"{report.p50_latency_s * 1e3:>9.2f} "
+                f"{report.p95_latency_s * 1e3:>9.2f} "
+                f"{report.p99_latency_s * 1e3:>9.2f} {executed_ms} "
+                f"{report.p99_latency_s / baseline_p99:>7.3f}"
+            )
         return "\n".join(lines)

@@ -20,7 +20,9 @@ layers on the shared discrete-event core (:mod:`repro.core.events`):
   service model (the STAR accelerator's batch-aware whole-model request
   timing, its linearized baseline, a fixed-service stand-in for theory
   checks, or a pre-priced timing table shipped to worker processes), with
-  per-chip heterogeneity and shared bounded pricing caches;
+  per-chip heterogeneity, shared bounded pricing caches, and tiered
+  fidelity (a sampled fraction of dispatches priced off cached
+  executed-schedule templates with per-layer jitter);
 * :mod:`~repro.serving.simulator` — the event-driven simulation itself;
 * :mod:`~repro.serving.sharded` — the multi-process scale-out: partition
   fleet and traffic across worker-process shards and merge the reports;
@@ -65,6 +67,9 @@ from repro.serving.fleet import (
     ServiceModel,
     StarServiceModel,
     TabulatedServiceModel,
+    TieredServiceModel,
+    TIER_ANALYTIC,
+    TIER_EXECUTED,
 )
 from repro.serving.profiling import PROFILER, Profiler, RunProfile
 from repro.serving.report import (
@@ -102,6 +107,9 @@ __all__ = [
     "StarServiceModel",
     "LinearServiceModel",
     "TabulatedServiceModel",
+    "TieredServiceModel",
+    "TIER_ANALYTIC",
+    "TIER_EXECUTED",
     "PricingCache",
     "ChipFleet",
     "ServingSimulator",

@@ -22,6 +22,12 @@ What a batch costs is delegated to a *service model*:
 * :class:`FixedServiceModel` — a synthetic deterministic service used by
   the queueing-theory cross-validation (M/D/1 needs a known constant
   service time, not a full accelerator model).
+* :class:`TieredServiceModel` — fidelity as a dial: a seeded Bernoulli
+  fraction of dispatches is priced off cached executed-schedule templates
+  (:mod:`repro.core.schedule_cache`) with per-layer lognormal jitter
+  resampled per dispatch, the rest through the wrapped analytic model —
+  so pipeline-level tail variation reaches request-level p99 at ~zero
+  hot-path cost.
 
 Fleets can be heterogeneous two ways: per-chip ``speedups`` (scalar speed
 factors, as before), or a per-chip ``service_models`` sequence — chips
@@ -45,9 +51,17 @@ __all__ = [
     "StarServiceModel",
     "LinearServiceModel",
     "TabulatedServiceModel",
+    "TieredServiceModel",
     "PricingCache",
     "ChipFleet",
+    "TIER_ANALYTIC",
+    "TIER_EXECUTED",
 ]
+
+#: Fidelity tier of a dispatched batch: analytic cache pricing.
+TIER_ANALYTIC = 0
+#: Fidelity tier of a dispatched batch: executed-schedule template resample.
+TIER_EXECUTED = 1
 
 
 class ServiceModel(Protocol):
@@ -485,6 +499,209 @@ class TabulatedServiceModel:
         return self._entry(batch_size, seq_len)[1]
 
 
+class TieredServiceModel:
+    """Sampled-dispatch routing between analytic and executed pricing.
+
+    Wraps any ``base`` service model (a :class:`StarServiceModel`, or its
+    shipped :class:`TabulatedServiceModel` form in sharded workers) and
+    routes a seeded Bernoulli ``sample_fraction`` of
+    :meth:`batch_latency_s` calls through the high-fidelity tier: a cached
+    :class:`~repro.core.schedule_cache.ScheduleTemplate` resampled with
+    per-layer lognormal jitter of width ``jitter_sigma``.  The remaining
+    dispatches (and **every** energy query — energy is
+    schedule-independent) delegate to ``base`` untouched, so
+    ``sample_fraction = 0`` is bit-identical to the base model.
+
+    After each latency call :attr:`last_tier` holds the tier that priced
+    it (:data:`TIER_ANALYTIC` or :data:`TIER_EXECUTED`) — the simulator
+    reads it into the report's per-batch ``tier`` column.  Templates come
+    from ``templates`` (a prebuilt ``(batch, seq_len) -> template`` dict,
+    the form :meth:`tabulated` / :meth:`ChipFleet.tabulated` produce for
+    worker processes) or are cold-built on first use through
+    ``template_cache`` from the base model's accelerator; a tabulated base
+    with no prebuilt template fails loudly, mirroring
+    :class:`TabulatedServiceModel`.
+
+    ``seed`` accepts an int or a ``numpy.random.SeedSequence`` —
+    :meth:`with_seed` re-seeds a copy, which is how the sharded simulator
+    gives every shard an independent sampling stream off one spawn tree.
+    """
+
+    def __init__(
+        self,
+        base: ServiceModel,
+        sample_fraction: float = 0.05,
+        jitter_sigma: float = 0.1,
+        seed=0,
+        templates: dict | None = None,
+        template_cache=None,
+    ) -> None:
+        import numpy as np
+
+        if not 0.0 <= sample_fraction <= 1.0:
+            raise ValueError(
+                f"sample_fraction must be within [0, 1], got {sample_fraction}"
+            )
+        require_non_negative(jitter_sigma, "jitter_sigma")
+        self.base = base
+        self.sample_fraction = float(sample_fraction)
+        self.jitter_sigma = float(jitter_sigma)
+        self.seed = seed
+        self.templates = {} if templates is None else dict(templates)
+        self._cache = template_cache
+        self._rng = np.random.default_rng(seed)
+        #: Tier of the most recent batch_latency_s call.
+        self.last_tier = TIER_ANALYTIC
+        #: Dispatches priced per tier (profiling counters).
+        self.analytic_dispatches = 0
+        self.executed_dispatches = 0
+        #: Template lookups resolved locally vs cold-built/cache-fetched.
+        self.template_hits = 0
+        self.template_misses = 0
+
+    # ------------------------------------------------------------------ #
+    # passthrough chip attributes (same hardware as the base model)
+    # ------------------------------------------------------------------ #
+    @property
+    def idle_power_w(self) -> float:
+        """Standby power of the wrapped chip model."""
+        return getattr(self.base, "idle_power_w", 0.0)
+
+    @property
+    def reprogram_latency_s(self) -> float:
+        """Repair cost of the wrapped chip model."""
+        return getattr(self.base, "reprogram_latency_s", 0.0)
+
+    @property
+    def sleep_power_w(self) -> float:
+        """Deep-sleep power of the wrapped chip (idle power if it cannot sleep)."""
+        return getattr(self.base, "sleep_power_w", self.idle_power_w)
+
+    @property
+    def sleep_entry_latency_s(self) -> float:
+        """Sleep-entry latency of the wrapped chip."""
+        return getattr(self.base, "sleep_entry_latency_s", 0.0)
+
+    @property
+    def wake_latency_s(self) -> float:
+        """Wake latency of the wrapped chip."""
+        return getattr(self.base, "wake_latency_s", 0.0)
+
+    @property
+    def wake_energy_j(self) -> float:
+        """Wake energy of the wrapped chip."""
+        return getattr(self.base, "wake_energy_j", 0.0)
+
+    # ------------------------------------------------------------------ #
+    # seeding and shipping
+    # ------------------------------------------------------------------ #
+    def with_seed(self, seed) -> "TieredServiceModel":
+        """A copy drawing its sampling stream from ``seed`` (fresh state).
+
+        Base model and template dict are shared (they are read-only on the
+        hot path); only the generator is new — the sharded simulator uses
+        this to hand every shard an independent ``SeedSequence`` child.
+        """
+        return TieredServiceModel(
+            self.base,
+            sample_fraction=self.sample_fraction,
+            jitter_sigma=self.jitter_sigma,
+            seed=seed,
+            templates=self.templates,
+            template_cache=self._cache,
+        )
+
+    def reset(self) -> None:
+        """Rewind the sampling stream (fresh runs replay the same tiers)."""
+        import numpy as np
+
+        self._rng = np.random.default_rng(self.seed)
+
+    def build_templates(
+        self, batch_sizes: Sequence[int], seq_lens: Sequence[int]
+    ) -> "TieredServiceModel":
+        """Cold-build every template of the shape grid into :attr:`templates`.
+
+        Requires a base model carrying an accelerator (i.e. not yet
+        tabulated).  Returns ``self`` for chaining.
+        """
+        for batch in sorted({int(b) for b in batch_sizes}):
+            for seq_len in sorted({int(s) for s in seq_lens}):
+                self._template(batch, seq_len)
+        return self
+
+    def tabulated(
+        self, batch_sizes: Sequence[int], seq_lens: Sequence[int]
+    ) -> "TieredServiceModel":
+        """This model with base pricing frozen and all templates prebuilt.
+
+        The returned copy wraps a :class:`TabulatedServiceModel` base and a
+        complete template dict over the grid — plain picklable data, no
+        accelerator objects — keeping the sampling seed, fraction and
+        jitter width, so it prices dispatches identically to the original
+        (templates and tabulated timings are exact copies of what the live
+        model would compute).
+        """
+        self.build_templates(batch_sizes, seq_lens)
+        base = self.base
+        if not isinstance(base, TabulatedServiceModel):
+            base = TabulatedServiceModel.tabulate(base, batch_sizes, seq_lens)
+        return TieredServiceModel(
+            base,
+            sample_fraction=self.sample_fraction,
+            jitter_sigma=self.jitter_sigma,
+            seed=self.seed,
+            templates=self.templates,
+        )
+
+    # ------------------------------------------------------------------ #
+    # pricing
+    # ------------------------------------------------------------------ #
+    def _template(self, batch_size: int, seq_len: int):
+        template = self.templates.get((batch_size, seq_len))
+        if template is not None:
+            self.template_hits += 1
+            return template
+        self.template_misses += 1
+        accelerator = getattr(self.base, "accelerator", None)
+        if accelerator is None:
+            raise KeyError(
+                f"no schedule template for shape (batch={batch_size}, "
+                f"seq_len={seq_len}) and the base model carries no "
+                f"accelerator to build one; prebuild with tabulated()/"
+                f"build_templates() over a grid covering this shape"
+            )
+        from repro.core.schedule_cache import SHARED_TEMPLATE_CACHE
+        from repro.nn.bert import BertWorkload
+
+        cache = self._cache if self._cache is not None else SHARED_TEMPLATE_CACHE
+        workload = BertWorkload(
+            config=self.base.bert_config, seq_len=seq_len
+        ).with_batch(batch_size)
+        template = cache.get_or_build(accelerator, workload)
+        self.templates[(batch_size, seq_len)] = template
+        return template
+
+    def batch_latency_s(self, batch_size: int, seq_len: int) -> float:
+        if self.sample_fraction > 0.0 and (
+            self.sample_fraction >= 1.0
+            or self._rng.random() < self.sample_fraction
+        ):
+            self.last_tier = TIER_EXECUTED
+            self.executed_dispatches += 1
+            template = self._template(batch_size, seq_len)
+            return template.resample(self._rng, self.jitter_sigma)
+        self.last_tier = TIER_ANALYTIC
+        self.analytic_dispatches += 1
+        return self.base.batch_latency_s(batch_size, seq_len)
+
+    def batch_energy_j(self, batch_size: int, seq_len: int) -> float:
+        # energy is schedule-independent (serialized-equivalent conversion
+        # rate), and this must never advance the sampling stream: the
+        # simulator queries energy separately from the latency draw
+        return self.base.batch_energy_j(batch_size, seq_len)
+
+
 class ChipFleet:
     """``num_chips`` chips sharing one dispatch queue.
 
@@ -542,6 +759,15 @@ class ChipFleet:
         """Energy of the batch on one specific chip."""
         return self.models[chip].batch_energy_j(batch_size, seq_len) / self.speedups[chip]
 
+    def batch_tier(self, chip: int) -> int:
+        """Fidelity tier of the chip's most recent batch pricing.
+
+        Read by the simulator immediately after :meth:`batch_latency_s`;
+        :data:`TIER_ANALYTIC` for models without tiering, so the report's
+        tier column stays all-zero (and silent) on untiered fleets.
+        """
+        return getattr(self.models[chip], "last_tier", TIER_ANALYTIC)
+
     def idle_power_w(self, chip: int) -> float:
         """Standby power of one chip (0 for models that do not declare one)."""
         return getattr(self.models[chip], "idle_power_w", 0.0)
@@ -596,15 +822,24 @@ class ChipFleet:
         prices the grid exactly once); speedups are preserved (the fleet
         applies them outside the model).
         """
-        tables: dict[int, TabulatedServiceModel] = {}
-        models: list[TabulatedServiceModel] = []
+        tables: dict[int, ServiceModel] = {}
+        models: list[ServiceModel] = []
         for model in self.models:
             if isinstance(model, TabulatedServiceModel):
                 models.append(model)
                 continue
             cached = tables.get(id(model))
             if cached is None:
-                cached = TabulatedServiceModel.tabulate(model, batch_sizes, seq_lens)
+                if isinstance(model, TieredServiceModel):
+                    # tiered models must NOT go through tabulate() — that
+                    # would advance (and freeze) the sampling stream; the
+                    # tiered wrapper tabulates its base and prebuilds the
+                    # template grid instead
+                    cached = model.tabulated(batch_sizes, seq_lens)
+                else:
+                    cached = TabulatedServiceModel.tabulate(
+                        model, batch_sizes, seq_lens
+                    )
                 tables[id(model)] = cached
             models.append(cached)
         return ChipFleet(service_models=tuple(models), speedups=self.speedups)

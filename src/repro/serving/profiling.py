@@ -23,7 +23,14 @@ __all__ = ["RunProfile", "Profiler", "PROFILER"]
 
 @dataclass(frozen=True, slots=True)
 class RunProfile:
-    """Hot-path counters of one simulator run."""
+    """Hot-path counters of one simulator run.
+
+    The pricing/template cache deltas and per-tier dispatch counts are
+    zero for runs without tiered-fidelity models — the fields exist so
+    ``--profile`` can show how often a run priced dispatches from the
+    analytic pricing cache vs. resampled a cached executed-schedule
+    template, and how many cold template builds it paid.
+    """
 
     label: str
     events_scheduled: int
@@ -32,6 +39,12 @@ class RunProfile:
     num_requests: int
     num_batches: int
     wall_s: float
+    pricing_hits: int = 0
+    pricing_misses: int = 0
+    template_hits: int = 0
+    template_misses: int = 0
+    analytic_batches: int = 0
+    executed_batches: int = 0
 
     @property
     def events_per_s(self) -> float:
@@ -66,14 +79,18 @@ class Profiler:
             return "profiler: no runs recorded"
         header = (
             f"{'run':<28} {'events':>10} {'popped':>10} {'dispatch':>9} "
-            f"{'requests':>9} {'batches':>8} {'wall_s':>8} {'req/s':>10}"
+            f"{'requests':>9} {'batches':>8} {'wall_s':>8} {'req/s':>10} "
+            f"{'price h/m':>11} {'tmpl h/m':>9} {'tiers a/x':>11}"
         )
         lines = [header, "-" * len(header)]
         for run in self.runs:
             lines.append(
                 f"{run.label:<28} {run.events_scheduled:>10} {run.events_popped:>10} "
                 f"{run.dispatch_calls:>9} {run.num_requests:>9} {run.num_batches:>8} "
-                f"{run.wall_s:>8.3f} {run.requests_per_s:>10.0f}"
+                f"{run.wall_s:>8.3f} {run.requests_per_s:>10.0f} "
+                f"{f'{run.pricing_hits}/{run.pricing_misses}':>11} "
+                f"{f'{run.template_hits}/{run.template_misses}':>9} "
+                f"{f'{run.analytic_batches}/{run.executed_batches}':>11}"
             )
         return "\n".join(lines)
 

@@ -92,7 +92,13 @@ class RequestRecord:
 
 @dataclass(frozen=True, slots=True)
 class BatchRecord:
-    """One dispatched batch and what serving it cost."""
+    """One dispatched batch and what serving it cost.
+
+    ``tier`` is the fidelity tier that priced the batch — 0 for the
+    analytic cache (every batch of an untiered fleet), 1 for an
+    executed-schedule template resample under a
+    :class:`~repro.serving.fleet.TieredServiceModel`.
+    """
 
     index: int
     chip: int
@@ -101,6 +107,7 @@ class BatchRecord:
     size: int
     seq_len: int
     energy_j: float
+    tier: int = 0
 
     @property
     def service_s(self) -> float:
@@ -260,9 +267,21 @@ class RequestTable:
 class BatchTable:
     """Columnar store of dispatched-batch records (see :class:`RequestTable`)."""
 
-    __slots__ = ("index", "chip", "dispatch_s", "completion_s", "size", "seq_len", "energy_j")
+    __slots__ = (
+        "index",
+        "chip",
+        "dispatch_s",
+        "completion_s",
+        "size",
+        "seq_len",
+        "energy_j",
+        "tier",
+    )
 
-    def __init__(self, index, chip, dispatch_s, completion_s, size, seq_len, energy_j) -> None:
+    def __init__(
+        self, index, chip, dispatch_s, completion_s, size, seq_len, energy_j,
+        tier=None,
+    ) -> None:
         self.index = _column(index, np.int64)
         self.chip = _column(chip, np.int64)
         self.dispatch_s = _column(dispatch_s, np.float64)
@@ -270,6 +289,12 @@ class BatchTable:
         self.size = _column(size, np.int64)
         self.seq_len = _column(seq_len, np.int64)
         self.energy_j = _column(energy_j, np.float64)
+        # the tier column defaults to all-analytic so pre-tiering callers
+        # (and pickles) keep constructing 7-column tables unchanged
+        if tier is None:
+            self.tier = np.zeros(self.index.size, dtype=np.int64)
+        else:
+            self.tier = _column(tier, np.int64)
         length = self.index.size
         for name in self.__slots__:
             if getattr(self, name).size != length:
@@ -293,6 +318,7 @@ class BatchTable:
             [b.size for b in records],
             [b.seq_len for b in records],
             [b.energy_j for b in records],
+            [b.tier for b in records],
         )
 
     @classmethod
@@ -316,6 +342,7 @@ class BatchTable:
             size=int(self.size[i]),
             seq_len=int(self.seq_len[i]),
             energy_j=float(self.energy_j[i]),
+            tier=int(self.tier[i]),
         )
 
     def __iter__(self) -> Iterator[BatchRecord]:
@@ -544,6 +571,7 @@ class ServingReport:
                     batches.size,
                     batches.seq_len,
                     batches.energy_j,
+                    batches.tier,
                 )
             )
             failures.extend(
@@ -889,6 +917,66 @@ class ServingReport:
         return 1.0 - self.num_deadline_misses(slo_class) / total
 
     # ------------------------------------------------------------------ #
+    # fidelity tiers (tiered service models)
+    # ------------------------------------------------------------------ #
+    @property
+    def tiering_enabled(self) -> bool:
+        """Whether any batch was priced off the executed-schedule tier.
+
+        Derived from the tier column itself, so merged, pickled and legacy
+        reports all agree — and tier-free runs keep their report text
+        byte-identical to the pre-tiering format.
+        """
+        return bool(len(self.batches)) and bool(np.any(self.batches.tier != 0))
+
+    @property
+    def request_tier(self) -> np.ndarray:
+        """Fidelity tier per completed request (its batch's tier)."""
+        return self.batches.tier[self.requests.batch_index]
+
+    def num_batches_in_tier(self, tier: int) -> int:
+        """Dispatched batches priced by one fidelity tier."""
+        return int(np.count_nonzero(self.batches.tier == tier))
+
+    def num_requests_in_tier(self, tier: int) -> int:
+        """Completed requests whose batch was priced by one fidelity tier."""
+        return int(np.count_nonzero(self.request_tier == tier))
+
+    @property
+    def executed_batch_fraction(self) -> float:
+        """Share of dispatched batches priced off executed templates."""
+        if not len(self.batches):
+            return 0.0
+        return self.num_batches_in_tier(1) / len(self.batches)
+
+    def tier_latency_percentile_s(self, tier: int, q: float) -> float:
+        """End-to-end latency percentile within one fidelity tier."""
+        latencies = self.requests.latency_s[self.request_tier == tier]
+        if latencies.size == 0:
+            return float("nan")
+        return float(percentile(latencies, q))
+
+    def format_tiers(self) -> str:
+        """Printable fidelity-tier section of a tiered run."""
+        executed_b = self.num_batches_in_tier(1)
+        executed_r = self.num_requests_in_tier(1)
+        lines = [
+            f"fidelity tiers          : executed {executed_b}/{self.num_batches} "
+            f"batches ({executed_r}/{self.num_requests} req, "
+            f"{self.executed_batch_fraction * 100:.1f}% sampled)"
+        ]
+        analytic_p99 = self.tier_latency_percentile_s(0, 99.0)
+        executed_p99 = self.tier_latency_percentile_s(1, 99.0)
+        lines.append(
+            f"per-tier p50/p99        : analytic "
+            f"{self.tier_latency_percentile_s(0, 50.0) * 1e6:.1f} / "
+            f"{analytic_p99 * 1e6:.1f} us, executed "
+            f"{self.tier_latency_percentile_s(1, 50.0) * 1e6:.1f} / "
+            f"{executed_p99 * 1e6:.1f} us"
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
     # autoscaling (power-state transitions)
     # ------------------------------------------------------------------ #
     @property
@@ -1003,6 +1091,15 @@ class ServingReport:
         if self.slo_enabled:
             summary["deadline_attainment"] = self.deadline_attainment()
             summary["num_deadline_misses"] = float(self.num_deadline_misses())
+        if self.tiering_enabled:
+            summary.update(
+                {
+                    "executed_batches": float(self.num_batches_in_tier(1)),
+                    "executed_batch_fraction": self.executed_batch_fraction,
+                    "analytic_p99_latency_s": self.tier_latency_percentile_s(0, 99.0),
+                    "executed_p99_latency_s": self.tier_latency_percentile_s(1, 99.0),
+                }
+            )
         if self.autoscale_enabled:
             summary.update(
                 {
@@ -1082,6 +1179,8 @@ class ServingReport:
             f"energy per query        : {self.energy_per_query_j * 1e6:.2f} uJ "
             f"(active only {self.active_energy_per_query_j * 1e6:.2f} uJ)",
         ]
+        if self.tiering_enabled:
+            lines.append(self.format_tiers())
         if self.slo_enabled:
             lines.append(self.format_slo())
         if self.autoscale_enabled:

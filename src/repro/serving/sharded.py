@@ -32,7 +32,9 @@ Two ways to feed the shards:
   parallelized too and no request ever crosses a process boundary.
 
 Determinism: every random stream — per-shard arrivals, per-shard fault
-processes, retry jitter — derives from one ``SeedSequence.spawn`` tree
+processes, retry jitter, per-shard fidelity-sampling streams
+(:class:`~repro.serving.fleet.TieredServiceModel`) — derives from one
+``SeedSequence.spawn`` tree
 rooted at the user's seed, so the same seed and shard count reproduce the
 same merged report whether shards run serially in-process
 (``parallel=False``) or across worker processes, on any worker count.
@@ -59,7 +61,7 @@ from repro.serving.arrivals import PoissonArrivals, Request, requests_from_array
 from repro.serving.autoscale import Autoscaler
 from repro.serving.batcher import NO_BATCHING, DynamicBatcher
 from repro.serving.faults import AdmissionController, FaultInjector, RetryPolicy
-from repro.serving.fleet import ChipFleet, ServiceModel
+from repro.serving.fleet import ChipFleet, ServiceModel, TieredServiceModel
 from repro.serving.profiling import PROFILER, RunProfile
 from repro.serving.report import BatchTable, RequestTable, ServingReport
 from repro.serving.simulator import ServingSimulator
@@ -222,7 +224,9 @@ class ShardedServingSimulator:
         Prices the whole ``batch x seq_len`` grid once in the calling
         process (:meth:`~repro.serving.fleet.ChipFleet.tabulated`), so
         workers receive plain timing tables and never touch an accelerator
-        model.  Returns ``self`` for chaining.
+        model.  Tiered models additionally get their executed-schedule
+        templates cold-built here over the same grid, so workers only ever
+        resample prebuilt templates.  Returns ``self`` for chaining.
         """
         self.fleet = self.fleet.tabulated(batch_sizes, seq_lens)
         return self
@@ -249,13 +253,45 @@ class ShardedServingSimulator:
             replace(self.faults, seed=child) for child in root.spawn(self.num_shards)
         ]
 
+    def _shard_models(self) -> list[tuple[ServiceModel, ...]]:
+        """Per-shard model tuples, with tiered models reseeded per shard.
+
+        A :class:`~repro.serving.fleet.TieredServiceModel` advances a
+        sampling stream as it prices, so shards must not share one
+        instance: every ``(model, shard)`` pair gets a fresh copy seeded
+        by an independent ``SeedSequence`` child off the model's own seed.
+        The copies are built here — before execution forks — so serial
+        (``parallel=False``) and worker-pool runs consume identical
+        generator states and stay bit-identical.
+        """
+        slices = self._chip_slices()
+        tiered: dict[int, list[TieredServiceModel]] = {}
+        for model in self.fleet.models:
+            if isinstance(model, TieredServiceModel) and id(model) not in tiered:
+                root = (
+                    model.seed
+                    if isinstance(model.seed, np.random.SeedSequence)
+                    else np.random.SeedSequence(model.seed)
+                )
+                tiered[id(model)] = [
+                    model.with_seed(child) for child in root.spawn(self.num_shards)
+                ]
+        return [
+            tuple(
+                tiered[id(model)][shard] if id(model) in tiered else model
+                for model in self.fleet.models[chips]
+            )
+            for shard, chips in enumerate(slices)
+        ]
+
     def _tasks(self) -> list[_ShardTask]:
         faults = self._shard_faults()
+        models = self._shard_models()
         return [
             _ShardTask(
                 shard=shard,
                 num_shards=self.num_shards,
-                models=self.fleet.models[chips],
+                models=models[shard],
                 speedups=self.fleet.speedups[chips],
                 batcher=self.batcher,
                 faults=faults[shard],

@@ -106,6 +106,7 @@ def _assemble_tables(
     b_energy: list[float],
     req_slo: list[int] | None = None,
     req_deadline: list[float] | None = None,
+    b_tier: list[int] | None = None,
 ) -> tuple[RequestTable, BatchTable]:
     """Build the report tables from the hot loop's column lists.
 
@@ -142,8 +143,35 @@ def _assemble_tables(
         size,
         seq_len,
         np.asarray(b_energy, dtype=np.float64),
+        None if b_tier is None else np.asarray(b_tier, dtype=np.int64),
     )
     return requests, batches
+
+
+def _fleet_cache_counters(fleet: ChipFleet) -> tuple[int, int, int, int, int, int]:
+    """Current pricing/template cache counters summed over the fleet.
+
+    Distinct cache objects and tiered models are counted once even when
+    chips share them; ``run()`` snapshots before/after and records the
+    delta, so per-run numbers stay correct with module-global caches.
+    """
+    pricing: dict[int, object] = {}
+    tiered: dict[int, object] = {}
+    for model in fleet.models:
+        for m in (model, getattr(model, "base", None)):
+            cache = getattr(m, "cache", None)
+            if cache is not None and hasattr(cache, "hits"):
+                pricing.setdefault(id(cache), cache)
+        if hasattr(model, "template_hits"):
+            tiered.setdefault(id(model), model)
+    return (
+        sum(c.hits for c in pricing.values()),
+        sum(c.misses for c in pricing.values()),
+        sum(m.template_hits for m in tiered.values()),
+        sum(m.template_misses for m in tiered.values()),
+        sum(m.analytic_dispatches for m in tiered.values()),
+        sum(m.executed_dispatches for m in tiered.values()),
+    )
 
 
 def _per_chip_busy(batches: BatchTable, num_chips: int) -> tuple[float, ...]:
@@ -190,7 +218,11 @@ class ServingSimulator:
             raise ValueError(
                 "fault injection and the SLO/autoscale control plane cannot "
                 "be combined in one run yet: pass either faults/retry/"
-                "admission or an EDF batcher/autoscaler, not both"
+                "admission or an EDF batcher/autoscaler, not both. "
+                "To study both effects, run two simulators over the same "
+                "arrivals — one with faults=..., one with the EDF batcher/"
+                "autoscaler — and compare their reports; unifying the two "
+                "event loops is tracked as an open item in ROADMAP.md"
             )
 
     @property
@@ -217,6 +249,7 @@ class ServingSimulator:
         if not requests:
             raise ValueError("cannot simulate an empty request stream")
         ordered = sorted(requests, key=lambda r: r.arrival_s)
+        counters = _fleet_cache_counters(self.fleet)
         start = _time.perf_counter()
         if self.fault_aware:
             report, loop, dispatch_calls = self._run_fault_aware(ordered)
@@ -228,6 +261,11 @@ class ServingSimulator:
             )
         else:
             report, loop, dispatch_calls = self._run_healthy(ordered)
+        wall_s = _time.perf_counter() - start
+        deltas = tuple(
+            after - before
+            for after, before in zip(_fleet_cache_counters(self.fleet), counters)
+        )
         self.last_profile = RunProfile(
             label=label,
             events_scheduled=loop.events_scheduled,
@@ -235,7 +273,13 @@ class ServingSimulator:
             dispatch_calls=dispatch_calls,
             num_requests=report.num_requests,
             num_batches=report.num_batches,
-            wall_s=_time.perf_counter() - start,
+            wall_s=wall_s,
+            pricing_hits=deltas[0],
+            pricing_misses=deltas[1],
+            template_hits=deltas[2],
+            template_misses=deltas[3],
+            analytic_batches=deltas[4],
+            executed_batches=deltas[5],
         )
         PROFILER.record(self.last_profile)
         return report
@@ -255,6 +299,7 @@ class ServingSimulator:
             raise ValueError("closed-loop runs do not support fault injection")
         from repro.serving.slo import run_control_plane
 
+        counters = _fleet_cache_counters(self.fleet)
         start = _time.perf_counter()
         report, loop, dispatch_calls = run_control_plane(
             self.fleet,
@@ -263,6 +308,11 @@ class ServingSimulator:
             clients=clients,
             num_requests=num_requests,
         )
+        wall_s = _time.perf_counter() - start
+        deltas = tuple(
+            after - before
+            for after, before in zip(_fleet_cache_counters(self.fleet), counters)
+        )
         self.last_profile = RunProfile(
             label=label,
             events_scheduled=loop.events_scheduled,
@@ -270,7 +320,13 @@ class ServingSimulator:
             dispatch_calls=dispatch_calls,
             num_requests=report.num_requests,
             num_batches=report.num_batches,
-            wall_s=_time.perf_counter() - start,
+            wall_s=wall_s,
+            pricing_hits=deltas[0],
+            pricing_misses=deltas[1],
+            template_hits=deltas[2],
+            template_misses=deltas[3],
+            analytic_batches=deltas[4],
+            executed_batches=deltas[5],
         )
         PROFILER.record(self.last_profile)
         return report
@@ -297,6 +353,7 @@ class ServingSimulator:
         b_size: list[int] = []
         b_seq_len: list[int] = []
         b_energy: list[float] = []
+        b_tier: list[int] = []
         timed_wait = self.batcher.max_wait_s > 0.0
         queued: set[int] = set()  # indexes awaiting dispatch (timeout liveness)
         dispatch_calls = 0
@@ -308,6 +365,7 @@ class ServingSimulator:
         batcher_batch_of = self.batcher.batch_of
         batch_latency_s = self.fleet.batch_latency_s
         batch_energy_j = self.fleet.batch_energy_j
+        batch_tier = self.fleet.batch_tier
         max_wait_s = self.batcher.max_wait_s
 
         def dispatch(time: float, force: bool = False) -> None:
@@ -333,6 +391,9 @@ class ServingSimulator:
                 queued.difference_update(r.index for r in batch)
                 seq_len = max(r.seq_len for r in batch)
                 service = batch_latency_s(chip, len(batch), seq_len)
+                # tier must be read before the chip's model prices another
+                # batch — chips may share one model object
+                tier = batch_tier(chip)
                 completion = time + service
                 chips.acquire(chip)
                 chips.occupy(service)
@@ -344,6 +405,7 @@ class ServingSimulator:
                 b_size.append(len(batch))
                 b_seq_len.append(seq_len)
                 b_energy.append(batch_energy_j(chip, len(batch), seq_len))
+                b_tier.append(tier)
                 for r in batch:
                     req_index.append(r.index)
                     req_arrival.append(r.arrival_s)
@@ -376,7 +438,7 @@ class ServingSimulator:
         requests, batches = _assemble_tables(
             req_index, req_arrival, req_batch, None,
             b_chip, b_dispatch, b_completion, b_size, b_seq_len, b_energy,
-            req_slo, req_deadline,
+            req_slo, req_deadline, b_tier,
         )
         report = ServingReport(
             num_chips=self.fleet.num_chips,
@@ -422,6 +484,7 @@ class ServingSimulator:
         b_size: list[int] = []
         b_seq_len: list[int] = []
         b_energy: list[float] = []
+        b_tier: list[int] = []
         shed: list[DropRecord] = []
         abandoned: list[DropRecord] = []
         retries: list[RetryRecord] = []
@@ -504,6 +567,7 @@ class ServingSimulator:
                     "completion_s": completion,
                     "seq_len": seq_len,
                     "energy_j": self.fleet.batch_energy_j(chip, len(members), seq_len),
+                    "tier": self.fleet.batch_tier(chip),
                 }
                 loop.schedule(completion, FREE, chip, epoch[chip])
 
@@ -543,6 +607,7 @@ class ServingSimulator:
                 b_size.append(len(info["members"]))
                 b_seq_len.append(info["seq_len"])
                 b_energy.append(info["energy_j"])
+                b_tier.append(info["tier"])
                 for r in info["members"]:
                     req_index.append(r.index)
                     req_arrival.append(r.arrival_s)
@@ -640,7 +705,7 @@ class ServingSimulator:
         requests, batches = _assemble_tables(
             req_index, req_arrival, req_batch, req_attempts,
             b_chip, b_dispatch, b_completion, b_size, b_seq_len, b_energy,
-            req_slo, req_deadline,
+            req_slo, req_deadline, b_tier,
         )
         report = ServingReport(
             num_chips=num_chips,

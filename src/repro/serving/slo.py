@@ -248,6 +248,7 @@ def run_control_plane(
     b_size: list[int] = []
     b_seq_len: list[int] = []
     b_energy: list[float] = []
+    b_tier: list[int] = []
     dispatch_calls = 0
 
     # closed-loop issue state
@@ -321,6 +322,8 @@ def run_control_plane(
             queued.difference_update(r.index for r in batch)
             seq_len = max(r.seq_len for r in batch)
             service = batch_latency_s(chip, len(batch), seq_len)
+            # read before the chip's model (possibly shared) prices again
+            tier = fleet.batch_tier(chip)
             completion = time + service
             chips.acquire(chip)
             chips.occupy(service)
@@ -333,6 +336,7 @@ def run_control_plane(
             b_size.append(len(batch))
             b_seq_len.append(seq_len)
             b_energy.append(batch_energy_j(chip, len(batch), seq_len))
+            b_tier.append(tier)
             for r in batch:
                 req_index.append(r.index)
                 req_arrival.append(r.arrival_s)
@@ -473,6 +477,7 @@ def run_control_plane(
         size_col,
         seq_col,
         np.asarray(b_energy, dtype=np.float64),
+        np.asarray(b_tier, dtype=np.int64),
     )
 
     chip_sleep_s: tuple[float, ...] = ()

@@ -2,11 +2,13 @@
 
 Each deterministic experiment report (E4 bit-widths, E7 pipeline
 ablation, E8 precision sweep, E9 noise corners, E10 serving, E11
-fault-injected serving, E12 SLO control plane) is compared line-for-line
-against a committed golden file.  E10's golden doubles as the
-healthy-path bit-identity guard: neither the fault machinery nor the
-SLO/autoscale control plane may move a single character of the
-open-loop FIFO no-autoscaler serving report.  The reports are fully
+fault-injected serving, E12 SLO control plane, E13 tiered-fidelity
+serving) is compared line-for-line against a committed golden file.
+E10's golden doubles as the healthy-path bit-identity guard: neither the
+fault machinery, the SLO/autoscale control plane, nor the
+fidelity-tiering layer may move a single character of the open-loop FIFO
+no-autoscaler serving report (see also ``test_tier_identity.py`` for the
+explicit ``sample_fraction=0`` guard).  The reports are fully
 deterministic (seeded generators, ideal devices or seeded noise), so any
 diff is a behaviour change — either a regression to investigate or an
 intentional improvement to re-bless:
@@ -28,7 +30,7 @@ import pytest
 from repro.experiments import run_experiment
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
-GOLDEN_EXPERIMENTS = ("e4", "e7", "e8", "e9", "e10", "e11", "e12")
+GOLDEN_EXPERIMENTS = ("e4", "e7", "e8", "e9", "e10", "e11", "e12", "e13")
 
 
 def golden_path(experiment_id: str) -> Path:

@@ -1,0 +1,55 @@
+"""``sample_fraction=0`` bit-identity guard for the fidelity-tiering layer.
+
+The tiering wrapper must be free when it is off: a
+``TieredServiceModel(base, sample_fraction=0)`` fleet has to produce the
+*byte-identical* report of the unwrapped ``base`` fleet — same tables,
+same formatted text, no tier section.  Together with the committed
+E10/E11/E12 goldens (which run un-wrapped fleets through the same
+simulator paths the tier column was threaded into) this pins the
+acceptance criterion that fraction-0 leaves every pre-tiering report
+unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving import (
+    ChipFleet,
+    DynamicBatcher,
+    PoissonArrivals,
+    ServingSimulator,
+    StarServiceModel,
+    TieredServiceModel,
+)
+
+
+def _reports():
+    requests = PoissonArrivals(400.0, seq_len=128, seed=11).generate(300)
+    batcher = DynamicBatcher(max_batch_size=8, max_wait_s=2e-3)
+
+    def run(model):
+        fleet = ChipFleet(model, num_chips=2)
+        return ServingSimulator(fleet, batcher).run(requests)
+
+    base = StarServiceModel(seq_len=128)
+    return run(base), run(TieredServiceModel(base, sample_fraction=0.0, seed=11))
+
+
+def test_fraction_zero_report_is_byte_identical():
+    plain, wrapped = _reports()
+    assert wrapped.format_table() == plain.format_table()
+    assert wrapped.summary() == plain.summary()
+
+
+def test_fraction_zero_tables_match_exactly():
+    plain, wrapped = _reports()
+    assert np.array_equal(wrapped.requests.completion_s, plain.requests.completion_s)
+    assert np.array_equal(wrapped.batches.energy_j, plain.batches.energy_j)
+    assert np.array_equal(wrapped.batches.tier, np.zeros(len(plain.batches)))
+
+
+def test_fraction_zero_never_shows_the_tier_section():
+    _, wrapped = _reports()
+    assert not wrapped.tiering_enabled
+    assert "fidelity tiers" not in wrapped.format_table()

@@ -9,8 +9,8 @@ from repro.experiments.__main__ import main as cli_main
 
 
 class TestRunner:
-    def test_all_twelve_experiments_registered(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 13)}
+    def test_all_thirteen_experiments_registered(self):
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 14)}
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
@@ -52,6 +52,12 @@ class TestRunner:
         assert "fifo" in report and "edf" in report
         assert "closed-loop check" in report
         assert "autoscale" in report
+
+    def test_e13_report_shows_fidelity_sweep(self):
+        report = run_experiment("e13")
+        assert "Tiered-fidelity serving" in report
+        assert "sampled" in report and "x base" in report
+        assert "1.000" in report  # the analytic-only baseline row
 
     def test_case_insensitive_ids(self):
         assert run_experiment("E2") == run_experiment("e2")
