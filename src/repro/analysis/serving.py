@@ -36,6 +36,17 @@ request stream served at growing fidelity-sampling fractions — analytic
 only, then 5%/25%/100% of dispatches priced on cached executed-schedule
 templates with per-layer jitter — showing pipeline-level tail variation
 propagating into request-level p99 at near-analytic cost.
+
+:class:`RoutingServingAnalyzer` is the E14 experiment: a skewed
+sequence-length trace (mostly short interactive requests, a heavy minority
+of long ones) over a mixed big/small-tile fleet, served once per routing
+arm — the global-FIFO baseline, then per-chip queues under round-robin,
+join-shortest-queue, and shortest-expected-delay routing (with and
+without work stealing).  The global queue pads every mixed batch to its
+longest member and routinely parks long sequences on small-tile chips, so
+it collapses at loads the cost-oracle router sustains: SED prices each
+candidate on each chip's batch-aware pricing, sending long requests to
+the big-tile chip, and stealing keeps the fleet work-conserving on top.
 """
 
 from __future__ import annotations
@@ -59,10 +70,12 @@ from repro.serving.fleet import (
     ExponentialServiceModel,
     FixedServiceModel,
     LinearServiceModel,
+    PricingCache,
     ServiceModel,
     StarServiceModel,
 )
 from repro.serving.report import ServingReport
+from repro.serving.routing import NetworkModel, Router
 from repro.serving.sharded import ShardedServingSimulator
 from repro.serving.simulator import ServingSimulator
 from repro.serving.slo import SLOClass, SLOPolicy
@@ -86,6 +99,8 @@ __all__ = [
     "SLOServingAnalyzer",
     "TieredFidelityRow",
     "TieredServingAnalyzer",
+    "RoutingPolicyRow",
+    "RoutingServingAnalyzer",
     "sleep_capable_star_model",
 ]
 
@@ -1211,5 +1226,200 @@ class TieredServingAnalyzer:
                 f"{report.p95_latency_s * 1e3:>9.2f} "
                 f"{report.p99_latency_s * 1e3:>9.2f} {executed_ms} "
                 f"{report.p99_latency_s / baseline_p99:>7.3f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RoutingPolicyRow:
+    """One routing arm on identical arrivals and an identical mixed fleet."""
+
+    label: str
+    report: ServingReport
+
+    @property
+    def goodput_rps(self) -> float:
+        """Deadline-meeting completions per second of makespan."""
+        report = self.report
+        span = report.makespan_s
+        if span <= 0:
+            return 0.0
+        return (report.num_requests - report.num_deadline_misses()) / span
+
+    @property
+    def stolen_batches(self) -> int:
+        return self.report.routing.stolen_batches if self.report.routing else 0
+
+
+class RoutingServingAnalyzer:
+    """Topology-aware routing on a mixed-tile fleet (E14).
+
+    The fleet is one big-tile chip plus several small-tile chips serving a
+    skewed trace — mostly short interactive sequences with a heavy
+    minority of long ones, tagged with a tight/loose SLO split by length.
+    Each arm serves the *same* tagged Poisson stream:
+
+    * ``global fifo`` — the fleet-wide queue (the pre-routing simulator):
+      any idle chip takes the head batch, so long sequences routinely land
+      on small-tile chips and mixed batches pad to 512;
+    * per-chip queues under ``round_robin`` / ``join_shortest_queue`` /
+      ``shortest_expected_delay`` routing, the latter with and without
+      work stealing, all behind the same front-end→chip network stage.
+
+    The offered load is chosen beyond the length-blind policies' capacity
+    but within the cost-oracle router's: SED keeps long sequences on the
+    big-tile chip (where their amortized batch cost is a fraction of a
+    small chip's), so it sustains goodput and tail latency where the
+    global FIFO collapses — the headline gap the golden pins.
+
+    Deterministic by construction (seeded arrivals, analytic pricing, no
+    wall-clock content), so its table is golden-pinned as e14.
+    """
+
+    def __init__(
+        self,
+        num_small_chips: int = 3,
+        big_tiles: int = 96,
+        small_tiles: int = 16,
+        short_len: int = 64,
+        long_len: int = 512,
+        long_weight: int = 3,
+        short_weight: int = 17,
+        rate_rps: float = 1000.0,
+        num_requests: int = 4000,
+        seed: int = 11,
+        max_batch_size: int = 8,
+        max_wait_s: float = 2e-3,
+        short_deadline_s: float = 20e-3,
+        long_deadline_s: float = 200e-3,
+        link_latency_s: float = 20e-6,
+        steal_latency_s: float = 10e-6,
+    ) -> None:
+        require_positive(num_small_chips, "num_small_chips")
+        require_positive(rate_rps, "rate_rps")
+        require_positive(num_requests, "num_requests")
+        self.num_small_chips = num_small_chips
+        self.big_tiles = big_tiles
+        self.small_tiles = small_tiles
+        self.short_len = short_len
+        self.long_len = long_len
+        self.seq_lens = (short_len,) * short_weight + (long_len,) * long_weight
+        self.rate_rps = rate_rps
+        self.num_requests = num_requests
+        self.seed = seed
+        self.batcher = DynamicBatcher(
+            max_batch_size=max_batch_size, max_wait_s=max_wait_s
+        )
+        self.slo = SLOPolicy(
+            (
+                SLOClass("interactive", short_deadline_s),
+                SLOClass("batch", long_deadline_s),
+            )
+        )
+        self.network = NetworkModel(
+            link_latency_s=link_latency_s, steal_latency_s=steal_latency_s
+        )
+        # one cache for every arm: each (tiles, batch, seq_len) shape is
+        # priced exactly once across the whole experiment
+        self._cache = PricingCache()
+
+    def _star_model(self, num_tiles: int) -> StarServiceModel:
+        from repro.core.accelerator import STARAccelerator
+        from repro.core.batch_cost import BatchCostModel
+        from repro.core.config import MatMulEngineConfig, STARConfig
+        from repro.nn.bert import BertConfig
+
+        accelerator = STARAccelerator(
+            STARConfig(matmul=MatMulEngineConfig(num_tiles=num_tiles)),
+            batch_cost=BatchCostModel.streamed(),
+        )
+        return StarServiceModel(
+            accelerator=accelerator,
+            bert_config=BertConfig(num_layers=2),
+            cache=self._cache,
+        )
+
+    def _fleet(self) -> ChipFleet:
+        """A fresh mixed fleet: chip 0 big-tile, the rest small-tile."""
+        models = [self._star_model(self.big_tiles)]
+        models.extend(
+            self._star_model(self.small_tiles) for _ in range(self.num_small_chips)
+        )
+        return ChipFleet(service_models=models)
+
+    def _requests(self):
+        arrivals = PoissonArrivals(
+            self.rate_rps, seq_len=self.seq_lens, seed=self.seed
+        )
+        return self.slo.tag_by_length(
+            arrivals.generate(self.num_requests),
+            boundaries=(self.short_len,),
+        )
+
+    def arms(self) -> tuple[tuple[str, Router | None], ...]:
+        """The compared (label, router) arms, baseline first."""
+        return (
+            ("global fifo", None),
+            ("round robin", Router(policy="round_robin", network=self.network)),
+            (
+                "join shortest queue",
+                Router(policy="join_shortest_queue", network=self.network),
+            ),
+            (
+                "sed, no stealing",
+                Router(
+                    policy="shortest_expected_delay",
+                    network=self.network,
+                    stealing=False,
+                ),
+            ),
+            (
+                "sed + stealing",
+                Router(policy="shortest_expected_delay", network=self.network),
+            ),
+        )
+
+    def row_for(self, label: str, router: Router | None) -> RoutingPolicyRow:
+        """Serve the trace through one routing arm on a fresh fleet."""
+        requests = self._requests()
+        simulator = ServingSimulator(self._fleet(), self.batcher, router=router)
+        return RoutingPolicyRow(label=label, report=simulator.run(requests))
+
+    def sweep_rows(self) -> list[RoutingPolicyRow]:
+        """All arms over the identical tagged trace."""
+        return [self.row_for(label, router) for label, router in self.arms()]
+
+    def format_table(self) -> str:
+        """Printable arm comparison: goodput/tails per routing policy.
+
+        ``x good`` is each arm's goodput over the global-FIFO baseline's —
+        the headline multiple; ``p99 (ms)`` falls with it as the router
+        stops padding mixed batches and parking long sequences on
+        small-tile chips.
+        """
+        rows = self.sweep_rows()
+        baseline = rows[0]
+        lines = [
+            f"{'policy':<22} {'goodput':>8} {'x good':>7} {'attain':>7} "
+            f"{'p50 (ms)':>9} {'p99 (ms)':>9} {'stolen':>7} {'peak q':>7}"
+        ]
+        for row in rows:
+            report = row.report
+            multiple = (
+                row.goodput_rps / baseline.goodput_rps
+                if baseline.goodput_rps > 0
+                else float("inf")
+            )
+            peak = (
+                report.routing.peak_queue_depth
+                if report.routing
+                else report.queue_peak
+            )
+            lines.append(
+                f"{row.label:<22} {row.goodput_rps:>8.1f} {multiple:>7.2f} "
+                f"{report.deadline_attainment():>7.3f} "
+                f"{report.p50_latency_s * 1e3:>9.2f} "
+                f"{report.p99_latency_s * 1e3:>9.2f} "
+                f"{row.stolen_batches:>7} {peak:>7}"
             )
         return "\n".join(lines)

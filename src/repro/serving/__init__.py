@@ -24,6 +24,12 @@ layers on the shared discrete-event core (:mod:`repro.core.events`):
   fidelity (a sampled fraction of dispatches priced off cached
   executed-schedule templates with per-layer jitter);
 * :mod:`~repro.serving.simulator` — the event-driven simulation itself;
+* :mod:`~repro.serving.routing` — topology-aware multi-queue serving:
+  per-chip queues behind a front-end router with a configurable
+  front-end→chip network stage, round-robin / join-shortest-queue /
+  shortest-expected-delay routing (the latter using batch-aware pricing
+  as a cost oracle, so long sequences prefer big-tile chips), and work
+  stealing by idle chips;
 * :mod:`~repro.serving.sharded` — the multi-process scale-out: partition
   fleet and traffic across worker-process shards and merge the reports;
 * :mod:`~repro.serving.faults` — per-chip MTBF/MTTR failure–repair
@@ -80,9 +86,12 @@ from repro.serving.report import (
     RequestRecord,
     RequestTable,
     RetryRecord,
+    RoutingStats,
     ScaleEvent,
     ServingReport,
+    StealRecord,
 )
+from repro.serving.routing import ROUTING_POLICIES, NetworkModel, Router
 from repro.serving.sharded import SPLIT_POLICIES, ShardedServingSimulator
 from repro.serving.simulator import ServingSimulator
 from repro.serving.slo import SLOClass, SLOPolicy
@@ -115,6 +124,9 @@ __all__ = [
     "ServingSimulator",
     "ShardedServingSimulator",
     "SPLIT_POLICIES",
+    "Router",
+    "NetworkModel",
+    "ROUTING_POLICIES",
     "FaultInjector",
     "FaultSession",
     "RetryPolicy",
@@ -128,6 +140,8 @@ __all__ = [
     "RetryRecord",
     "FailureRecord",
     "ScaleEvent",
+    "StealRecord",
+    "RoutingStats",
     "ServingReport",
     "Profiler",
     "RunProfile",

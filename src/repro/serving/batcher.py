@@ -85,6 +85,19 @@ class DynamicBatcher:
         """How many requests the next dispatch takes from the queue."""
         return min(queue_len, self.max_batch_size)
 
+    def queue_key(self, request, arrival_order: int) -> float:
+        """The heap key this policy drains a per-chip queue by.
+
+        Arrival order under FIFO, absolute deadline under EDF — the
+        multi-queue router keeps one heap per chip keyed by
+        ``(queue_key, arrival_order)``, so FIFO drains in arrival order
+        and EDF drains most-urgent-first with arrival order breaking
+        ties (and deadline-free requests, at ``inf``, sorting last).
+        """
+        if self.order == "edf":
+            return request.absolute_deadline_s
+        return float(arrival_order)
+
     def capped(self, max_batch_size: int) -> "DynamicBatcher":
         """This policy with its batch cap lowered to ``max_batch_size``.
 

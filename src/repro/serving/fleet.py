@@ -46,6 +46,7 @@ from repro.utils.validation import require_non_negative, require_positive
 
 __all__ = [
     "ServiceModel",
+    "WrappedCapabilities",
     "FixedServiceModel",
     "ExponentialServiceModel",
     "StarServiceModel",
@@ -74,6 +75,51 @@ class ServiceModel(Protocol):
     def batch_energy_j(self, batch_size: int, seq_len: int) -> float:
         """Active energy of serving that batch."""
         ...
+
+
+class WrappedCapabilities:
+    """Capability pass-throughs of a service model wrapping ``self.base``.
+
+    A wrapper re-prices batches but runs on the *same hardware* as the
+    model it wraps, so its standby power, repair cost and power-state
+    capabilities are the base model's — these six properties forward them
+    (with the can't-sleep-deeper-than-idle and wakes-for-free defaults
+    for base models that declare no such capability).  Shared by
+    :class:`LinearServiceModel` and :class:`TieredServiceModel` so the
+    forwarding exists exactly once.
+    """
+
+    base: ServiceModel
+
+    @property
+    def idle_power_w(self) -> float:
+        """Standby power of the wrapped chip model."""
+        return getattr(self.base, "idle_power_w", 0.0)
+
+    @property
+    def reprogram_latency_s(self) -> float:
+        """Repair cost of the wrapped chip model (same hardware, same rewrite)."""
+        return getattr(self.base, "reprogram_latency_s", 0.0)
+
+    @property
+    def sleep_power_w(self) -> float:
+        """Deep-sleep power of the wrapped chip (idle power if it cannot sleep)."""
+        return getattr(self.base, "sleep_power_w", self.idle_power_w)
+
+    @property
+    def sleep_entry_latency_s(self) -> float:
+        """Sleep-entry latency of the wrapped chip."""
+        return getattr(self.base, "sleep_entry_latency_s", 0.0)
+
+    @property
+    def wake_latency_s(self) -> float:
+        """Wake latency of the wrapped chip (same hardware, same re-bias)."""
+        return getattr(self.base, "wake_latency_s", 0.0)
+
+    @property
+    def wake_energy_j(self) -> float:
+        """Wake energy of the wrapped chip."""
+        return getattr(self.base, "wake_energy_j", 0.0)
 
 
 @dataclass(frozen=True)
@@ -152,6 +198,14 @@ class ExponentialServiceModel:
         self.mean_s = float(mean_s)
         self.request_energy_j = float(request_energy_j)
         self.idle_power_w = float(idle_power_w)
+        # explicit capability defaults (a synthetic chip that never needs
+        # repair, cannot sleep deeper than idle, and wakes for free), so
+        # fleet accessors read real attributes instead of getattr fallbacks
+        self.reprogram_latency_s = 0.0
+        self.sleep_power_w = self.idle_power_w
+        self.sleep_entry_latency_s = 0.0
+        self.wake_latency_s = 0.0
+        self.wake_energy_j = 0.0
         self.seed = seed
         self._rng = np.random.default_rng(seed)
 
@@ -354,46 +408,18 @@ class StarServiceModel:
         return self._timing(batch_size, seq_len)[1]
 
 
-class LinearServiceModel:
+class LinearServiceModel(WrappedCapabilities):
     """A service model priced as ``batch_size x single_request``.
 
     Wraps any base model and discards its batch amortisation — the
     pre-batching serving behaviour, kept as an explicit baseline so sweeps
-    can show what batch-aware pricing buys at the same hardware.
+    can show what batch-aware pricing buys at the same hardware.  Chip
+    capabilities (idle/sleep power, repair and wake costs) forward to the
+    wrapped model through :class:`WrappedCapabilities`.
     """
 
     def __init__(self, base: ServiceModel) -> None:
         self.base = base
-
-    @property
-    def idle_power_w(self) -> float:
-        """Standby power of the wrapped chip model."""
-        return getattr(self.base, "idle_power_w", 0.0)
-
-    @property
-    def reprogram_latency_s(self) -> float:
-        """Repair cost of the wrapped chip model (same hardware, same rewrite)."""
-        return getattr(self.base, "reprogram_latency_s", 0.0)
-
-    @property
-    def sleep_power_w(self) -> float:
-        """Deep-sleep power of the wrapped chip (idle power if it cannot sleep)."""
-        return getattr(self.base, "sleep_power_w", self.idle_power_w)
-
-    @property
-    def sleep_entry_latency_s(self) -> float:
-        """Sleep-entry latency of the wrapped chip."""
-        return getattr(self.base, "sleep_entry_latency_s", 0.0)
-
-    @property
-    def wake_latency_s(self) -> float:
-        """Wake latency of the wrapped chip (same hardware, same re-bias)."""
-        return getattr(self.base, "wake_latency_s", 0.0)
-
-    @property
-    def wake_energy_j(self) -> float:
-        """Wake energy of the wrapped chip."""
-        return getattr(self.base, "wake_energy_j", 0.0)
 
     def batch_latency_s(self, batch_size: int, seq_len: int) -> float:
         return batch_size * self.base.batch_latency_s(1, seq_len)
@@ -499,7 +525,7 @@ class TabulatedServiceModel:
         return self._entry(batch_size, seq_len)[1]
 
 
-class TieredServiceModel:
+class TieredServiceModel(WrappedCapabilities):
     """Sampled-dispatch routing between analytic and executed pricing.
 
     Wraps any ``base`` service model (a :class:`StarServiceModel`, or its
@@ -558,39 +584,6 @@ class TieredServiceModel:
         #: Template lookups resolved locally vs cold-built/cache-fetched.
         self.template_hits = 0
         self.template_misses = 0
-
-    # ------------------------------------------------------------------ #
-    # passthrough chip attributes (same hardware as the base model)
-    # ------------------------------------------------------------------ #
-    @property
-    def idle_power_w(self) -> float:
-        """Standby power of the wrapped chip model."""
-        return getattr(self.base, "idle_power_w", 0.0)
-
-    @property
-    def reprogram_latency_s(self) -> float:
-        """Repair cost of the wrapped chip model."""
-        return getattr(self.base, "reprogram_latency_s", 0.0)
-
-    @property
-    def sleep_power_w(self) -> float:
-        """Deep-sleep power of the wrapped chip (idle power if it cannot sleep)."""
-        return getattr(self.base, "sleep_power_w", self.idle_power_w)
-
-    @property
-    def sleep_entry_latency_s(self) -> float:
-        """Sleep-entry latency of the wrapped chip."""
-        return getattr(self.base, "sleep_entry_latency_s", 0.0)
-
-    @property
-    def wake_latency_s(self) -> float:
-        """Wake latency of the wrapped chip."""
-        return getattr(self.base, "wake_latency_s", 0.0)
-
-    @property
-    def wake_energy_j(self) -> float:
-        """Wake energy of the wrapped chip."""
-        return getattr(self.base, "wake_energy_j", 0.0)
 
     # ------------------------------------------------------------------ #
     # seeding and shipping

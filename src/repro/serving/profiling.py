@@ -29,7 +29,9 @@ class RunProfile:
     zero for runs without tiered-fidelity models — the fields exist so
     ``--profile`` can show how often a run priced dispatches from the
     analytic pricing cache vs. resampled a cached executed-schedule
-    template, and how many cold template builds it paid.
+    template, and how many cold template builds it paid.  Likewise the
+    routing counters (front-end route decisions, batches stolen by idle
+    peers, deepest single chip queue) stay zero for global-queue runs.
     """
 
     label: str
@@ -45,6 +47,9 @@ class RunProfile:
     template_misses: int = 0
     analytic_batches: int = 0
     executed_batches: int = 0
+    routed_requests: int = 0
+    stolen_batches: int = 0
+    peak_queue_depth: int = 0
 
     @property
     def events_per_s(self) -> float:
@@ -80,7 +85,8 @@ class Profiler:
         header = (
             f"{'run':<28} {'events':>10} {'popped':>10} {'dispatch':>9} "
             f"{'requests':>9} {'batches':>8} {'wall_s':>8} {'req/s':>10} "
-            f"{'price h/m':>11} {'tmpl h/m':>9} {'tiers a/x':>11}"
+            f"{'price h/m':>11} {'tmpl h/m':>9} {'tiers a/x':>11} "
+            f"{'routed':>8} {'stolen':>7} {'peak q':>7}"
         )
         lines = [header, "-" * len(header)]
         for run in self.runs:
@@ -90,7 +96,9 @@ class Profiler:
                 f"{run.wall_s:>8.3f} {run.requests_per_s:>10.0f} "
                 f"{f'{run.pricing_hits}/{run.pricing_misses}':>11} "
                 f"{f'{run.template_hits}/{run.template_misses}':>9} "
-                f"{f'{run.analytic_batches}/{run.executed_batches}':>11}"
+                f"{f'{run.analytic_batches}/{run.executed_batches}':>11} "
+                f"{run.routed_requests:>8} {run.stolen_batches:>7} "
+                f"{run.peak_queue_depth:>7}"
             )
         return "\n".join(lines)
 

@@ -48,6 +48,8 @@ __all__ = [
     "RetryRecord",
     "FailureRecord",
     "ScaleEvent",
+    "StealRecord",
+    "RoutingStats",
     "ServingReport",
 ]
 
@@ -463,6 +465,108 @@ class ScaleEvent:
         return self.ready_s - self.time_s
 
 
+@dataclass(frozen=True)
+class StealRecord:
+    """One work-steal: an idle chip served a batch from a peer's queue.
+
+    ``queue`` is the home queue the batch was routed to, ``chip`` the
+    peer that actually served it, ``decided_s`` when the steal was
+    decided — the batch dispatches one steal network hop later.
+    """
+
+    batch_index: int
+    queue: int
+    chip: int
+    decided_s: float
+
+    def __post_init__(self) -> None:
+        if self.queue == self.chip:
+            raise ValueError(f"steal from queue {self.queue} to its own chip")
+
+
+@dataclass(frozen=True)
+class RoutingStats:
+    """Per-queue and per-policy ledger of a multi-queue routed run.
+
+    ``queue_peaks`` / ``queue_requests`` / ``queue_wait_s`` are per-queue
+    (one slot per chip): the deepest the queue ever got, the requests
+    dispatched *from* it (whether served locally or stolen), and their
+    summed arrival-to-dispatch waits.  ``route_network_s`` and
+    ``steal_network_s`` total the front-end→chip and chip→chip hop time
+    charged; ``steals`` records each individual steal.
+    """
+
+    policy: str
+    stealing: bool
+    num_routed: int
+    local_batches: int
+    stolen_batches: int
+    route_network_s: float
+    steal_network_s: float
+    queue_peaks: tuple[int, ...]
+    queue_requests: tuple[int, ...]
+    queue_wait_s: tuple[float, ...]
+    steals: tuple[StealRecord, ...] = ()
+
+    @property
+    def num_queues(self) -> int:
+        return len(self.queue_peaks)
+
+    @property
+    def peak_queue_depth(self) -> int:
+        """Deepest any single chip queue ever got."""
+        return max(self.queue_peaks, default=0)
+
+    @property
+    def stolen_fraction(self) -> float:
+        """Fraction of dispatched batches an idle peer stole."""
+        total = self.local_batches + self.stolen_batches
+        return self.stolen_batches / total if total else 0.0
+
+    def queue_mean_wait_s(self, queue: int) -> float:
+        """Mean arrival→dispatch wait of requests routed to one queue."""
+        count = self.queue_requests[queue]
+        return self.queue_wait_s[queue] / count if count else 0.0
+
+    @classmethod
+    def merge(
+        cls, parts: Sequence[tuple["RoutingStats", int, int]]
+    ) -> "RoutingStats":
+        """Fold per-shard stats; ``parts`` are (stats, chip/queue offset,
+        batch offset) in shard order — queues renumber with their chips."""
+        policies = {(s.policy, s.stealing) for s, _, _ in parts}
+        if len(policies) > 1:
+            raise ValueError(
+                f"cannot merge routing stats with differing policies: "
+                f"{sorted(policies)}"
+            )
+        steals: list[StealRecord] = []
+        for stats, chip_offset, batch_offset in parts:
+            steals.extend(
+                replace(
+                    steal,
+                    batch_index=steal.batch_index + batch_offset,
+                    queue=steal.queue + chip_offset,
+                    chip=steal.chip + chip_offset,
+                )
+                for steal in stats.steals
+            )
+        first = parts[0][0]
+        return cls(
+            policy=first.policy,
+            stealing=first.stealing,
+            num_routed=sum(s.num_routed for s, _, _ in parts),
+            local_batches=sum(s.local_batches for s, _, _ in parts),
+            stolen_batches=sum(s.stolen_batches for s, _, _ in parts),
+            route_network_s=sum(s.route_network_s for s, _, _ in parts),
+            steal_network_s=sum(s.steal_network_s for s, _, _ in parts),
+            queue_peaks=tuple(p for s, _, _ in parts for p in s.queue_peaks),
+            queue_requests=tuple(r for s, _, _ in parts for r in s.queue_requests),
+            queue_wait_s=tuple(w for s, _, _ in parts for w in s.queue_wait_s),
+            steals=tuple(steals),
+        )
+
+
 def _as_request_table(requests) -> RequestTable:
     if isinstance(requests, RequestTable):
         return requests
@@ -508,6 +612,7 @@ class ServingReport:
     chip_sleep_s: tuple[float, ...] = ()
     chip_sleep_power_w: tuple[float, ...] = ()
     autoscale_enabled: bool = False
+    routing: RoutingStats | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "requests", _as_request_table(self.requests))
@@ -538,10 +643,14 @@ class ServingReport:
             raise ValueError(
                 f"cannot merge reports with differing deadlines: {sorted(deadlines, key=str)}"
             )
+        routed = [r.routing is not None for r in reports]
+        if any(routed) and not all(routed):
+            raise ValueError("cannot merge routed and unrouted reports")
         request_tables: list[RequestTable] = []
         batch_tables: list[BatchTable] = []
         failures: list[FailureRecord] = []
         scale_events: list[ScaleEvent] = []
+        routing_parts: list[tuple[RoutingStats, int, int]] = []
         chip_offset = 0
         batch_offset = 0
         for report in reports:
@@ -580,6 +689,8 @@ class ServingReport:
             scale_events.extend(
                 replace(e, chip=e.chip + chip_offset) for e in report.scale_events
             )
+            if report.routing is not None:
+                routing_parts.append((report.routing, chip_offset, batch_offset))
             chip_offset += report.num_chips
             batch_offset += len(batches)
         return cls(
@@ -608,6 +719,7 @@ class ServingReport:
                 power for report in reports for power in report.chip_sleep_power_w
             ),
             autoscale_enabled=any(r.autoscale_enabled for r in reports),
+            routing=RoutingStats.merge(routing_parts) if routing_parts else None,
         )
 
     # ------------------------------------------------------------------ #
@@ -1109,7 +1221,45 @@ class ServingReport:
                     "wake_energy_j": self.wake_energy_j,
                 }
             )
+        if self.routing_enabled:
+            summary.update(
+                {
+                    "num_routed": float(self.routing.num_routed),
+                    "stolen_batches": float(self.routing.stolen_batches),
+                    "stolen_fraction": self.routing.stolen_fraction,
+                    "peak_queue_depth": float(self.routing.peak_queue_depth),
+                    "route_network_s": self.routing.route_network_s,
+                    "steal_network_s": self.routing.steal_network_s,
+                }
+            )
         return summary
+
+    @property
+    def routing_enabled(self) -> bool:
+        """Whether this run went through the multi-queue front-end router."""
+        return self.routing is not None
+
+    def format_routing(self) -> str:
+        """Printable per-queue section of a routed run."""
+        stats = self.routing
+        stealing = "on" if stats.stealing else "off"
+        peaks = " ".join(str(peak) for peak in stats.queue_peaks)
+        waits = " ".join(
+            f"{stats.queue_mean_wait_s(queue) * 1e6:.1f}"
+            for queue in range(stats.num_queues)
+        )
+        return "\n".join(
+            [
+                f"routing policy          : {stats.policy} (stealing {stealing}, "
+                f"{stats.num_routed} routed)",
+                f"local / stolen batches  : {stats.local_batches} / "
+                f"{stats.stolen_batches} ({stats.stolen_fraction * 100:.1f}% stolen)",
+                f"network time            : route {stats.route_network_s * 1e3:.2f} ms, "
+                f"steal {stats.steal_network_s * 1e3:.2f} ms",
+                f"per-queue peak depth    : {peaks}",
+                f"per-queue mean wait (us): {waits}",
+            ]
+        )
 
     def format_slo(self) -> str:
         """Printable per-class SLO section of a tagged run."""
@@ -1179,6 +1329,8 @@ class ServingReport:
             f"energy per query        : {self.energy_per_query_j * 1e6:.2f} uJ "
             f"(active only {self.active_energy_per_query_j * 1e6:.2f} uJ)",
         ]
+        if self.routing_enabled:
+            lines.append(self.format_routing())
         if self.tiering_enabled:
             lines.append(self.format_tiers())
         if self.slo_enabled:

@@ -63,7 +63,8 @@ from repro.serving.batcher import NO_BATCHING, DynamicBatcher
 from repro.serving.faults import AdmissionController, FaultInjector, RetryPolicy
 from repro.serving.fleet import ChipFleet, ServiceModel, TieredServiceModel
 from repro.serving.profiling import PROFILER, RunProfile
-from repro.serving.report import BatchTable, RequestTable, ServingReport
+from repro.serving.report import BatchTable, RequestTable, RoutingStats, ServingReport
+from repro.serving.routing import Router
 from repro.serving.simulator import ServingSimulator
 from repro.utils.validation import require_positive
 
@@ -91,6 +92,7 @@ class _ShardTask:
     retry: RetryPolicy | None
     admission: AdmissionController | None
     autoscaler: Autoscaler | None = None
+    router: Router | None = None
     # explicit split: compact arrays (rebuilt into requests in the worker)
     times: np.ndarray | None = None
     lens: np.ndarray | None = None
@@ -113,6 +115,22 @@ def _empty_report(
     """
     retry = simulator.retry if simulator.retry is not None else RetryPolicy()
     autoscaled = simulator.autoscaler is not None
+    routing = None
+    if simulator.router is not None:
+        # a routed empty shard still contributes its (all-zero) queue
+        # columns, keeping the merged per-queue layout chip-aligned
+        routing = RoutingStats(
+            policy=simulator.router.policy,
+            stealing=simulator.router.stealing,
+            num_routed=0,
+            local_batches=0,
+            stolen_batches=0,
+            route_network_s=0.0,
+            steal_network_s=0.0,
+            queue_peaks=(0,) * fleet.num_chips,
+            queue_requests=(0,) * fleet.num_chips,
+            queue_wait_s=(0.0,) * fleet.num_chips,
+        )
     return ServingReport(
         num_chips=fleet.num_chips,
         requests=RequestTable.empty(),
@@ -133,6 +151,7 @@ def _empty_report(
         if autoscaled
         else (),
         autoscale_enabled=autoscaled,
+        routing=routing,
     )
 
 
@@ -146,6 +165,7 @@ def _simulate_shard(task: _ShardTask) -> tuple[ServingReport, RunProfile | None]
         retry=task.retry,
         admission=task.admission,
         autoscaler=task.autoscaler,
+        router=task.router,
     )
     if task.arrivals is not None:
         requests = task.arrivals.generate(task.num_requests, task.index_offset)
@@ -189,6 +209,7 @@ class ShardedServingSimulator:
         retry: RetryPolicy | None = None,
         admission: AdmissionController | None = None,
         autoscaler: Autoscaler | None = None,
+        router: Router | None = None,
         parallel: bool = True,
         max_workers: int | None = None,
     ) -> None:
@@ -207,6 +228,7 @@ class ShardedServingSimulator:
         self.retry = retry
         self.admission = admission
         self.autoscaler = autoscaler
+        self.router = router
         self.parallel = parallel
         self.max_workers = max_workers
         #: Per-shard reports and hot-path profiles of the latest run.
@@ -287,6 +309,8 @@ class ShardedServingSimulator:
     def _tasks(self) -> list[_ShardTask]:
         faults = self._shard_faults()
         models = self._shard_models()
+        # per-queue topology partitions with the chips: each shard's
+        # router keeps its own slice of the per-link latencies
         return [
             _ShardTask(
                 shard=shard,
@@ -298,6 +322,9 @@ class ShardedServingSimulator:
                 retry=self.retry,
                 admission=self.admission,
                 autoscaler=self.autoscaler,
+                router=self.router.for_chips(chips)
+                if self.router is not None
+                else None,
             )
             for shard, chips in enumerate(self._chip_slices())
         ]

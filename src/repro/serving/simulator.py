@@ -206,6 +206,7 @@ class ServingSimulator:
         retry: RetryPolicy | None = None,
         admission: AdmissionController | None = None,
         autoscaler=None,
+        router=None,
     ) -> None:
         self.fleet = fleet
         self.batcher = batcher
@@ -213,8 +214,19 @@ class ServingSimulator:
         self.retry = retry
         self.admission = admission
         self.autoscaler = autoscaler
+        self.router = router
         self.last_profile: RunProfile | None = None
-        if self.fault_aware and self.slo_aware:
+        if self.router is not None and self.autoscaler is not None:
+            raise ValueError(
+                "the multi-queue router and the autoscaler cannot be combined "
+                "in one run yet: the autoscaler's control plane drains one "
+                "fleet-wide queue. Router + autoscaler interaction is tracked "
+                "as an open item in ROADMAP.md"
+            )
+        # the routed loop drains EDF per-queue heaps and runs the fault
+        # machinery in one loop, so the exclusion below only binds the
+        # global-queue paths
+        if self.router is None and self.fault_aware and self.slo_aware:
             raise ValueError(
                 "fault injection and the SLO/autoscale control plane cannot "
                 "be combined in one run yet: pass either faults/retry/"
@@ -251,7 +263,22 @@ class ServingSimulator:
         ordered = sorted(requests, key=lambda r: r.arrival_s)
         counters = _fleet_cache_counters(self.fleet)
         start = _time.perf_counter()
-        if self.fault_aware:
+        if self.router is not None:
+            # the routed loop handles healthy, fault-aware, and EDF drains
+            # itself: per-chip queues replace both the global FIFO and the
+            # control plane's fleet-wide deadline heap
+            from repro.serving.routing import run_routed
+
+            report, loop, dispatch_calls = run_routed(
+                self.fleet,
+                self.batcher,
+                self.router,
+                ordered,
+                faults=self.faults,
+                retry=self.retry,
+                admission=self.admission,
+            )
+        elif self.fault_aware:
             report, loop, dispatch_calls = self._run_fault_aware(ordered)
         elif self.slo_aware:
             from repro.serving.slo import run_control_plane
@@ -280,6 +307,9 @@ class ServingSimulator:
             template_misses=deltas[3],
             analytic_batches=deltas[4],
             executed_batches=deltas[5],
+            routed_requests=report.routing.num_routed if report.routing else 0,
+            stolen_batches=report.routing.stolen_batches if report.routing else 0,
+            peak_queue_depth=report.routing.peak_queue_depth if report.routing else 0,
         )
         PROFILER.record(self.last_profile)
         return report
@@ -297,6 +327,12 @@ class ServingSimulator:
         """
         if self.fault_aware:
             raise ValueError("closed-loop runs do not support fault injection")
+        if self.router is not None:
+            raise ValueError(
+                "closed-loop runs do not support the multi-queue router: "
+                "closed-loop clients react to completions through the "
+                "control plane's fleet-wide queue"
+            )
         from repro.serving.slo import run_control_plane
 
         counters = _fleet_cache_counters(self.fleet)

@@ -3,7 +3,8 @@
 Each deterministic experiment report (E4 bit-widths, E7 pipeline
 ablation, E8 precision sweep, E9 noise corners, E10 serving, E11
 fault-injected serving, E12 SLO control plane, E13 tiered-fidelity
-serving) is compared line-for-line against a committed golden file.
+serving, E14 topology-aware routing) is compared line-for-line against a
+committed golden file.
 E10's golden doubles as the healthy-path bit-identity guard: neither the
 fault machinery, the SLO/autoscale control plane, nor the
 fidelity-tiering layer may move a single character of the open-loop FIFO
@@ -30,7 +31,7 @@ import pytest
 from repro.experiments import run_experiment
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
-GOLDEN_EXPERIMENTS = ("e4", "e7", "e8", "e9", "e10", "e11", "e12", "e13")
+GOLDEN_EXPERIMENTS = ("e4", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14")
 
 
 def golden_path(experiment_id: str) -> Path:

@@ -9,8 +9,8 @@ from repro.experiments.__main__ import main as cli_main
 
 
 class TestRunner:
-    def test_all_thirteen_experiments_registered(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 14)}
+    def test_all_fourteen_experiments_registered(self):
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 15)}
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
@@ -58,6 +58,29 @@ class TestRunner:
         assert "Tiered-fidelity serving" in report
         assert "sampled" in report and "x base" in report
         assert "1.000" in report  # the analytic-only baseline row
+
+    def test_e14_report_shows_routing_win(self):
+        report = run_experiment("e14")
+        assert "Topology-aware routing" in report
+        assert "global fifo" in report and "sed + stealing" in report
+        lines = {
+            line.split("  ")[0].strip(): line
+            for line in report.splitlines()
+            if line.startswith(("global fifo", "sed"))
+        }
+
+        def metrics(line: str) -> tuple[float, float]:
+            fields = line.split()
+            return float(fields[-7]), float(fields[-3])  # goodput, p99 ms
+
+        base_goodput, base_p99 = metrics(lines["global fifo"])
+        steal_goodput, steal_p99 = metrics(lines["sed + stealing"])
+        nosteal_goodput, _ = metrics(lines["sed, no stealing"])
+        # the headline: the cost oracle + stealing beats the global FIFO
+        # on both axes, and stealing beats the oracle alone
+        assert steal_goodput > base_goodput
+        assert steal_p99 < base_p99
+        assert steal_goodput > nosteal_goodput
 
     def test_case_insensitive_ids(self):
         assert run_experiment("E2") == run_experiment("e2")
